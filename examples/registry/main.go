@@ -1,0 +1,78 @@
+// Registry: the §5 library's "named segments with capabilities",
+// dogfooded through Mether itself. A producer creates a data segment,
+// publishes its capability in a directory page (lock, write, purge), and
+// a consumer on another host blocks on the directory's data-driven view
+// until the name appears — no polling, no out-of-band channel.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mether"
+	"mether/registry"
+)
+
+func main() {
+	w := mether.NewWorld(mether.Config{Hosts: 2, Pages: 16, Seed: 1})
+	defer w.Shutdown()
+
+	dir, err := registry.Create(w, "cluster", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := w.CreateSegment("results", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w.Spawn(0, "producer", func(env *mether.Env) {
+		m, err := env.Attach(results.CapRW(), mether.RW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Store32(m.Addr(0, 0), 2026); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Purge(m.Addr(0, 0).Short()); err != nil {
+			log.Fatal(err)
+		}
+		// Let the consumer wait a while before the name exists.
+		env.SleepFor(200 * time.Millisecond)
+		h, err := registry.Open(env, dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := h.Publish("results", results.CapRO()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] producer: published %q\n", env.Now(), "results")
+	})
+
+	w.Spawn(1, "consumer", func(env *mether.Env) {
+		h, err := registry.Open(env, dir.ReadOnly())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] consumer: waiting for %q...\n", env.Now(), "results")
+		cap, err := h.Wait("results") // sleeps on the directory's data view
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := env.Attach(cap, mether.RO)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := m.Load32(m.Addr(0, 0).Short())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] consumer: looked up %q and read %d\n", env.Now(), cap.Segment, v)
+	})
+
+	w.Run()
+	if err := w.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+}

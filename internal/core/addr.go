@@ -1,0 +1,127 @@
+// Package core implements Mether itself: the view-encoded address space
+// (Figure 2), the kernel driver (fault handling, PURGE/DO-PURGE, locking
+// and the Figure-1 subset/superset rules) and the user-level server that
+// moves pages over the broadcast network.
+//
+// Terminology follows the paper. A page has exactly one consistent copy,
+// held by its owner host; writable mappings are backed only by the
+// consistent copy. Read-only mappings see inconsistent copies, refreshed
+// snoopily whenever any copy of the page transits the network. The short
+// page is the first 32 bytes of a full page; the short address space
+// overlays the full one. Demand-driven faults send a request; data-driven
+// faults passively await a transit.
+package core
+
+import (
+	"fmt"
+
+	"mether/internal/vm"
+)
+
+// Address-space layout (Figure 2): a Mether virtual address packs the
+// view selection into its top bits, so applications switch views by
+// changing address bits rather than making system calls.
+//
+//	bit 31    — short space (1) vs full space (0)
+//	bit 30    — data-driven (1) vs demand-driven (0)
+//	bits 29-13 — page number (17 bits, up to 131072 pages = 1 GiB)
+//	bits 12-0  — byte offset within the 8 KiB page
+const (
+	addrShortBit = 1 << 31
+	addrDataBit  = 1 << 30
+	addrPageMax  = 1 << 17
+)
+
+// Addr is a Mether virtual address. The same underlying page is reachable
+// through four aliases: {full, short} x {demand, data-driven}.
+type Addr uint32
+
+// NewAddr builds a full-space, demand-driven address for a byte offset
+// within a page. It panics if the page or offset exceed the address-space
+// geometry — programmer error, like an out-of-range pointer constant.
+func NewAddr(page vm.PageID, off int) Addr {
+	if page >= addrPageMax {
+		panic(fmt.Sprintf("core: page %d out of range", page))
+	}
+	if off < 0 || off >= vm.PageSize {
+		panic(fmt.Sprintf("core: offset %d out of range", off))
+	}
+	return Addr(uint32(page)<<13 | uint32(off))
+}
+
+// Short returns the address aliased into the short space.
+func (a Addr) Short() Addr { return a | addrShortBit }
+
+// Full returns the address aliased into the full space.
+func (a Addr) Full() Addr { return a &^ addrShortBit }
+
+// DataDriven returns the address aliased into the data-driven space.
+func (a Addr) DataDriven() Addr { return a | addrDataBit }
+
+// Demand returns the address aliased into the demand-driven space.
+func (a Addr) Demand() Addr { return a &^ addrDataBit }
+
+// IsShort reports whether the address selects the short (32-byte) view.
+func (a Addr) IsShort() bool { return a&addrShortBit != 0 }
+
+// IsData reports whether the address selects data-driven fault semantics.
+func (a Addr) IsData() bool { return a&addrDataBit != 0 }
+
+// Page returns the page number.
+func (a Addr) Page() vm.PageID { return vm.PageID(uint32(a) >> 13 & (addrPageMax - 1)) }
+
+// Offset returns the byte offset within the page.
+func (a Addr) Offset() int { return int(uint32(a) & 0x1FFF) }
+
+// ViewLimit returns the largest valid offset bound for the view: 32 for
+// short addresses, the page size otherwise.
+func (a Addr) ViewLimit() int {
+	if a.IsShort() {
+		return vm.ShortSize
+	}
+	return vm.PageSize
+}
+
+// CheckAccess validates an access of size bytes through this address.
+func (a Addr) CheckAccess(size int) error {
+	return vm.CheckRange(a.Offset(), size, a.ViewLimit())
+}
+
+// SamePage reports whether two addresses alias the same underlying page.
+func (a Addr) SamePage(b Addr) bool { return a.Page() == b.Page() }
+
+func (a Addr) String() string {
+	space := "full"
+	if a.IsShort() {
+		space = "short"
+	}
+	drive := "demand"
+	if a.IsData() {
+		drive = "data"
+	}
+	return fmt.Sprintf("page %d+%#x [%s,%s]", a.Page(), a.Offset(), space, drive)
+}
+
+// Mode selects which mapping an access goes through: the read-only
+// (inconsistent) space or the writable (consistent) space. The paper's
+// processes choose this when they map the Mether region in.
+type Mode uint8
+
+const (
+	// RO maps the inconsistent space: reads may be stale, writes fault.
+	RO Mode = iota + 1
+	// RW maps the consistent space: any access requires holding the
+	// page's consistent copy (ownership) and is always demand-driven.
+	RW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case RO:
+		return "ro"
+	case RW:
+		return "rw"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mether/internal/vm"
+)
+
+func TestAddrBasics(t *testing.T) {
+	a := NewAddr(5, 100)
+	if a.Page() != 5 || a.Offset() != 100 {
+		t.Errorf("page/offset = %d/%d, want 5/100", a.Page(), a.Offset())
+	}
+	if a.IsShort() || a.IsData() {
+		t.Error("base address must be full-space, demand-driven")
+	}
+}
+
+// TestAddressSpaceLayout verifies the Figure-2 property: the four views
+// of a page are aliases selected purely by address bits, and the short
+// space completely overlays the full space.
+func TestAddressSpaceLayout(t *testing.T) {
+	base := NewAddr(9, 16)
+	views := []struct {
+		name  string
+		addr  Addr
+		short bool
+		data  bool
+	}{
+		{"full demand", base, false, false},
+		{"short demand", base.Short(), true, false},
+		{"full data", base.DataDriven(), false, true},
+		{"short data", base.Short().DataDriven(), true, true},
+	}
+	for _, v := range views {
+		t.Run(v.name, func(t *testing.T) {
+			if v.addr.Page() != base.Page() || v.addr.Offset() != base.Offset() {
+				t.Error("view bits changed the page/offset")
+			}
+			if v.addr.IsShort() != v.short || v.addr.IsData() != v.data {
+				t.Errorf("IsShort/IsData = %v/%v, want %v/%v",
+					v.addr.IsShort(), v.addr.IsData(), v.short, v.data)
+			}
+			if !v.addr.SamePage(base) {
+				t.Error("view does not alias the same page")
+			}
+		})
+	}
+}
+
+func TestAddrViewTransitionsInvert(t *testing.T) {
+	a := NewAddr(3, 8).Short().DataDriven()
+	if b := a.Full(); b.IsShort() {
+		t.Error("Full() did not clear the short bit")
+	}
+	if b := a.Demand(); b.IsData() {
+		t.Error("Demand() did not clear the data bit")
+	}
+	if a.Short().Short() != a {
+		t.Error("Short() is not idempotent")
+	}
+}
+
+func TestViewLimit(t *testing.T) {
+	a := NewAddr(0, 0)
+	if a.ViewLimit() != vm.PageSize {
+		t.Errorf("full view limit = %d, want %d", a.ViewLimit(), vm.PageSize)
+	}
+	if a.Short().ViewLimit() != vm.ShortSize {
+		t.Errorf("short view limit = %d, want %d", a.Short().ViewLimit(), vm.ShortSize)
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Addr
+		size int
+		ok   bool
+	}{
+		{"full in range", NewAddr(0, 8000), 4, true},
+		{"full at end", NewAddr(0, vm.PageSize-8), 8, true},
+		{"short in range", NewAddr(0, 28).Short(), 4, true},
+		{"short crossing boundary", NewAddr(0, 30).Short(), 4, false},
+		{"short beyond", NewAddr(0, 32).Short(), 1, false},
+		{"zero size", NewAddr(0, 0), 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.a.CheckAccess(tt.size)
+			if (err == nil) != tt.ok {
+				t.Errorf("CheckAccess err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestNewAddrPanicsOutOfRange(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAddr(addrPageMax, 0) },
+		func() { NewAddr(0, vm.PageSize) },
+		func() { NewAddr(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range address")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	s := NewAddr(7, 16).Short().DataDriven().String()
+	if s != "page 7+0x10 [short,data]" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: codec round-trips for every page/offset, and view bits never
+// leak into page/offset decoding.
+func TestAddrRoundTripProperty(t *testing.T) {
+	prop := func(page uint32, off uint16, short, data bool) bool {
+		p := vm.PageID(page % addrPageMax)
+		o := int(off) % vm.PageSize
+		a := NewAddr(p, o)
+		if short {
+			a = a.Short()
+		}
+		if data {
+			a = a.DataDriven()
+		}
+		return a.Page() == p && a.Offset() == o &&
+			a.IsShort() == short && a.IsData() == data
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

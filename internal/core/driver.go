@@ -1,0 +1,609 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mether/internal/ethernet"
+	"mether/internal/host"
+	"mether/internal/proto"
+	"mether/internal/vm"
+)
+
+// Errors returned by driver operations.
+var (
+	// ErrReadOnly reports a store through a read-only or data-driven view.
+	ErrReadOnly = errors.New("core: store to read-only view")
+	// ErrInvalidView reports an access combination the address space does
+	// not provide (e.g. data-driven consistent access; paper note 2).
+	ErrInvalidView = errors.New("core: invalid view for access")
+	// ErrNotMapped reports access to a page that is not mapped in.
+	ErrNotMapped = errors.New("core: page not mapped")
+	// ErrLockFailed reports a failed Lock; missing subsets were marked
+	// wanted per Figure 1, so a retry after they arrive will succeed.
+	ErrLockFailed = errors.New("core: lock failed")
+	// ErrNotPresent reports an operation that needs resident data the
+	// host does not hold (e.g. purging an absent full page).
+	ErrNotPresent = errors.New("core: page not present")
+)
+
+// Config carries the Mether driver/server cost model and limits.
+type Config struct {
+	// NumPages bounds the global Mether page space for this world.
+	NumPages int
+	// RetryTimeout is how long the server waits for a demand request to
+	// be satisfied before retransmitting. Mether runs over unreliable
+	// datagrams; requests must be retried.
+	RetryTimeout time.Duration
+	// PacketCost is the user-level server's CPU cost to handle or send
+	// one packet (UDP traversal, context bookkeeping).
+	PacketCost time.Duration
+	// ByteCost is the per-payload-byte CPU cost (copies and checksums);
+	// this is what makes 8 KiB transfers so much more expensive than
+	// short pages on the host as well as on the wire.
+	ByteCost time.Duration
+	// MinResidency is the anti-thrash holdoff: after ownership arrives,
+	// steal requests are deferred this long so the local client can use
+	// the page at least once. Without it two writers ping-pong a page
+	// endlessly with neither making progress.
+	MinResidency time.Duration
+	// KernelServer runs protocol processing at interrupt level instead
+	// of in a user-level server process — the paper's proposed fix for
+	// the context-switch bottleneck. See kernel.go.
+	KernelServer bool
+}
+
+// DefaultConfig returns the calibrated Sun-3/50-class server cost model.
+func DefaultConfig(numPages int) Config {
+	return Config{
+		NumPages:     numPages,
+		RetryTimeout: 250 * time.Millisecond,
+		PacketCost:   1500 * time.Microsecond,
+		ByteCost:     3 * time.Microsecond,
+		MinResidency: 10 * time.Millisecond,
+	}
+}
+
+// Driver is one host's Mether kernel driver plus the state shared with
+// its user-level server. All client-facing methods must be called from a
+// process goroutine on the same host (they may block the caller); the
+// server runs as its own process started by StartServer.
+type Driver struct {
+	h   *host.Host
+	nic *ethernet.NIC
+	cfg Config
+	id  int8
+
+	pages     map[vm.PageID]*pageState
+	workq     []workItem
+	stopped   bool
+	server    *host.Proc
+	kDraining bool
+	m         Metrics
+}
+
+type workKind uint8
+
+const (
+	workSendReq workKind = iota + 1
+	workPurge
+	workRedeliver
+)
+
+type workItem struct {
+	kind workKind
+	page vm.PageID
+	req  deferredReq
+}
+
+// New creates the driver for host h using NIC n. The NIC's interrupt
+// callback must be wired (by the caller) to d.FrameArrived.
+func New(h *host.Host, n *ethernet.NIC, cfg Config) *Driver {
+	if cfg.NumPages <= 0 || cfg.NumPages > addrPageMax {
+		panic(fmt.Sprintf("core: NumPages %d out of range", cfg.NumPages))
+	}
+	return &Driver{
+		h:     h,
+		nic:   n,
+		cfg:   cfg,
+		id:    int8(h.ID()),
+		pages: make(map[vm.PageID]*pageState),
+	}
+}
+
+// Host returns the driver's host.
+func (d *Driver) Host() *host.Host { return d.h }
+
+// Metrics returns the driver's counters; the pointer stays valid for the
+// driver's lifetime.
+func (d *Driver) Metrics() *Metrics { return &d.m }
+
+// FrameArrived is the NIC interrupt hook: it wakes the user-level server
+// after the configured interrupt latency — or, in kernel-server mode,
+// processes the frame at interrupt level.
+func (d *Driver) FrameArrived() {
+	if d.cfg.KernelServer {
+		d.kernelKick(d.h.Params().InterruptCost)
+		return
+	}
+	d.h.Interrupt(func() { d.h.Wakeup(serverKey{d.h.ID()}) })
+}
+
+// page returns (creating lazily) the state for a page.
+func (d *Driver) page(id vm.PageID) *pageState {
+	if int(id) >= d.cfg.NumPages {
+		panic(fmt.Sprintf("core: page %d beyond configured space", id))
+	}
+	st, ok := d.pages[id]
+	if !ok {
+		st = &pageState{page: id, frame: &vm.Frame{}, grantedTo: proto.NoOwner, grantedRestTo: proto.NoOwner}
+		d.pages[id] = st
+	}
+	return st
+}
+
+// CreatePage makes this host the initial owner of a page: the consistent
+// copy and the authoritative remainder both start here, zero-filled.
+func (d *Driver) CreatePage(id vm.PageID) {
+	st := d.page(id)
+	st.owner = true
+	st.restOwner = true
+	st.shortPresent = true
+	st.restPresent = true
+}
+
+// MapIn maps a page into the given space. Per Figure 1 ("mapping a page
+// in: all subsets must be present; supersets need not be present") the
+// call demand-fetches the short page if it is absent, blocking the
+// caller; the full remainder is not fetched.
+func (d *Driver) MapIn(p *host.Proc, mode Mode, id vm.PageID) error {
+	st := d.page(id)
+	switch mode {
+	case RO:
+		st.mappedRO = true
+	case RW:
+		st.mappedRW = true
+	default:
+		return fmt.Errorf("%w: mode %v", ErrInvalidView, mode)
+	}
+	if st.shortPresent {
+		return nil
+	}
+	start := p.Now()
+	for !st.shortPresent {
+		if err := d.demandFault(p, st, needSet{short: true}); err != nil {
+			return err
+		}
+	}
+	d.m.FaultLatency.Observe(p.Now() - start)
+	return nil
+}
+
+// MapOut removes a mapping. Contents stay resident (pageout is separate).
+func (d *Driver) MapOut(mode Mode, id vm.PageID) {
+	st := d.page(id)
+	switch mode {
+	case RO:
+		st.mappedRO = false
+	case RW:
+		st.mappedRW = false
+	}
+}
+
+// needSet describes what a faulting access requires.
+type needSet struct {
+	short      bool // first 32 bytes resident
+	rest       bool // remainder resident
+	consistent bool // ownership (consistent copy) held here
+	restAuth   bool // authoritative remainder held here
+}
+
+// accessNeeds computes requirements for an access at a. Per Figure 1's
+// fault row, a fault on the short space pages in only the subset, while a
+// fault on the full space pages in all subsets — the entire 8 KiB page.
+// This is exactly the paper's protocol-1 versus protocol-2 distinction:
+// "when a process required access to the 32-bit word [through the full
+// space] an entire Sun page had to be transferred."
+func accessNeeds(mode Mode, a Addr, size int) needSet {
+	_ = size // the view, not the access width, decides the extent
+	n := needSet{short: true}
+	if !a.IsShort() {
+		n.rest = true
+	}
+	if mode == RW {
+		n.consistent = true
+		if n.rest {
+			n.restAuth = true
+		}
+	}
+	return n
+}
+
+// satisfied reports whether the page state meets the needs.
+func (st *pageState) satisfied(n needSet) bool {
+	if n.short && !st.shortPresent {
+		return false
+	}
+	if n.rest && !st.restPresent {
+		return false
+	}
+	if n.consistent && !st.owner {
+		return false
+	}
+	if n.restAuth && !st.restOwner {
+		return false
+	}
+	return true
+}
+
+// checkAccess validates view/mode legality for an access.
+func (d *Driver) checkAccess(mode Mode, a Addr, size int, write bool) (*pageState, error) {
+	if err := a.CheckAccess(size); err != nil {
+		return nil, err
+	}
+	st := d.page(a.Page())
+	switch mode {
+	case RO:
+		if !st.mappedRO {
+			return nil, fmt.Errorf("%w: page %d (ro)", ErrNotMapped, a.Page())
+		}
+		if write {
+			return nil, fmt.Errorf("%w: %v", ErrReadOnly, a)
+		}
+	case RW:
+		if !st.mappedRW {
+			return nil, fmt.Errorf("%w: page %d (rw)", ErrNotMapped, a.Page())
+		}
+		if a.IsData() {
+			// "Note that the consistent space can only be demand-driven."
+			return nil, fmt.Errorf("%w: data-driven consistent access at %v", ErrInvalidView, a)
+		}
+	default:
+		return nil, fmt.Errorf("%w: mode %v", ErrInvalidView, mode)
+	}
+	return st, nil
+}
+
+// access drives the fault loop until the needs are met, then calls fn.
+// It implements both demand-driven and data-driven semantics.
+func (d *Driver) access(p *host.Proc, mode Mode, a Addr, size int, write bool, fn func(st *pageState) error) error {
+	st, err := d.checkAccess(mode, a, size, write)
+	if err != nil {
+		return err
+	}
+	needs := accessNeeds(mode, a, size)
+	faulted := false
+	start := p.Now()
+	for !st.satisfied(needs) {
+		faulted = true
+		if a.IsData() {
+			if err := d.dataFault(p, st); err != nil {
+				return err
+			}
+		} else {
+			if err := d.demandFault(p, st, needs); err != nil {
+				return err
+			}
+		}
+	}
+	if faulted {
+		d.m.FaultLatency.Observe(p.Now() - start)
+	}
+	return fn(st)
+}
+
+// demandFault blocks the caller until something about the page changes,
+// after marking wants and queueing a request for the server to send.
+// Callers loop: the wake may be for a different region than needed.
+func (d *Driver) demandFault(p *host.Proc, st *pageState, needs needSet) error {
+	d.m.DemandFaults++
+	p.UseSys(d.h.Params().TrapCost)
+	// Re-check after the trap: the wanted data may have arrived while the
+	// trap cost was being charged (the client can be preempted in Use).
+	if st.satisfied(needs) {
+		return nil
+	}
+	if needs.short && !st.shortPresent {
+		st.wantShort = true
+	}
+	if needs.rest && !st.restPresent {
+		st.wantRest = true
+	}
+	if needs.consistent && !st.owner {
+		st.wantConsistent = true
+	}
+	if needs.restAuth && !st.restOwner {
+		st.wantRest = true
+	}
+	d.queueRequest(st)
+	p.SleepOn(waitKey{st.page})
+	return nil
+}
+
+// dataFault blocks the caller until any copy of the page transits the
+// network. No request is sent: this fault is completely passive — except
+// when a transit slipped between the caller's purge and this fault, in
+// which case waiting would deadlock and the driver falls back to one
+// demand fetch to preserve liveness.
+func (d *Driver) dataFault(p *host.Proc, st *pageState) error {
+	d.m.DataFaults++
+	p.UseSys(d.h.Params().TrapCost)
+	if st.shortPresent { // a transit landed during the trap
+		return nil
+	}
+	if st.transitSeq != st.dataArmSeq {
+		st.dataArmSeq = st.transitSeq
+		d.m.DataFallbacks++
+		st.wantShort = true
+		d.queueRequest(st)
+		p.SleepOn(waitKey{st.page})
+		return nil
+	}
+	st.dataWaiters++
+	p.SleepOn(waitKey{st.page})
+	st.dataWaiters--
+	return nil
+}
+
+// queueRequest schedules the server to send a demand request for the
+// page unless an in-flight request already covers the current wants.
+func (d *Driver) queueRequest(st *pageState) {
+	if st.reqInFlight && st.reqCoversWants() {
+		return
+	}
+	st.reqInFlight = true
+	d.enqueueWork(workItem{kind: workSendReq, page: st.page})
+}
+
+// enqueueWork appends server work and wakes whoever processes it.
+func (d *Driver) enqueueWork(w workItem) {
+	d.workq = append(d.workq, w)
+	if d.cfg.KernelServer {
+		d.kernelKick(0)
+		return
+	}
+	d.h.Wakeup(serverKey{d.h.ID()})
+}
+
+// Load reads an integer of size 1, 2, 4 or 8 bytes through the given
+// mapping and address, faulting as needed.
+func (d *Driver) Load(p *host.Proc, mode Mode, a Addr, size int) (uint64, error) {
+	var v uint64
+	err := d.access(p, mode, a, size, false, func(st *pageState) error {
+		var err error
+		v, err = st.frame.Load(a.Offset(), size)
+		return err
+	})
+	return v, err
+}
+
+// Store writes an integer of size 1, 2, 4 or 8 bytes through the given
+// mapping and address, faulting in the consistent copy as needed.
+func (d *Driver) Store(p *host.Proc, mode Mode, a Addr, size int, v uint64) error {
+	return d.access(p, mode, a, size, true, func(st *pageState) error {
+		return st.frame.Store(a.Offset(), size, v)
+	})
+}
+
+// ReadBytes copies len(buf) bytes from the page into buf.
+func (d *Driver) ReadBytes(p *host.Proc, mode Mode, a Addr, buf []byte) error {
+	return d.access(p, mode, a, len(buf), false, func(st *pageState) error {
+		return st.frame.ReadBytes(a.Offset(), buf)
+	})
+}
+
+// WriteBytes copies data into the page.
+func (d *Driver) WriteBytes(p *host.Proc, mode Mode, a Addr, data []byte) error {
+	return d.access(p, mode, a, len(data), true, func(st *pageState) error {
+		return st.frame.WriteBytes(a.Offset(), data)
+	})
+}
+
+// Purge implements the PURGE operator (syscall).
+//
+// Read-only (or unowned) pages: the local copy of the addressed view is
+// invalidated; the next access refetches — the application's active
+// update. Per Figure 1, purging the short view leaves the superset
+// remainder resident and purging the full view invalidates all subsets.
+// Purging a page whose consistent copy is local through a read-only view
+// is a no-op (the only consistent copy cannot be discarded); this is
+// exactly why the paper's fourth protocol "continues to sample a value
+// that is not changing".
+//
+// Writable (owned) pages: the page is marked purge-pending and the caller
+// sleeps until the server has broadcast a read-only copy and issued
+// DO-PURGE — the passive update that propagates new contents.
+func (d *Driver) Purge(p *host.Proc, mode Mode, a Addr) error {
+	st := d.page(a.Page())
+	p.UseSys(d.h.Params().SyscallCost)
+	if mode == RW && st.owner {
+		if !a.IsShort() && !st.restPresent {
+			return fmt.Errorf("%w: full purge of page %d without remainder", ErrNotPresent, a.Page())
+		}
+		d.m.PurgesRW++
+		st.purgePending = true
+		st.purgeShort = a.IsShort()
+		d.enqueueWork(workItem{kind: workPurge, page: st.page})
+		for st.purgePending {
+			p.SleepOn(purgeKey{st.page})
+		}
+		return nil
+	}
+	d.m.PurgesRO++
+	if st.owner {
+		return nil // sole consistent copy: purge is a no-op
+	}
+	st.shortPresent = false
+	// Purge invalidates replicas; an authoritative remainder (held after
+	// granting ownership via a short transfer) is not a replica and must
+	// survive, or its bytes would be lost cluster-wide.
+	if !a.IsShort() && !st.restOwner {
+		st.restPresent = false
+	}
+	// Arm the purge→data-fault race detector: a transit arriving from
+	// here until the next data-driven fault must not be missed.
+	st.dataArmSeq = st.transitSeq
+	return nil
+}
+
+// Lock implements the Figure-1 lock rules. Locking pins the page's
+// resident copies: the server defers remote requests (including
+// consistency transfers) until Unlock. Missing pieces fail the lock and
+// are marked wanted so the server fetches them in the background.
+func (d *Driver) Lock(p *host.Proc, mode Mode, a Addr) error {
+	st := d.page(a.Page())
+	p.UseSys(d.h.Params().SyscallCost)
+	missing := false
+	if !st.shortPresent {
+		st.wantShort = true
+		missing = true
+	}
+	// For a short-view lock the superset (the full page) must be present
+	// though it is not itself locked; for a full-view lock the remainder
+	// is a subset and must be present too.
+	if !st.restPresent {
+		st.wantRest = true
+		missing = true
+	}
+	if missing {
+		d.m.LockFails++
+		d.queueRequest(st)
+		return fmt.Errorf("%w: page %d has absent pieces (marked wanted)", ErrLockFailed, a.Page())
+	}
+	st.locked = true
+	if a.IsShort() {
+		// Supersets are unmapped for the duration of the lock.
+		st.fullUnmappedByLock = true
+	}
+	_ = mode
+	return nil
+}
+
+// Unlock releases a lock and redelivers requests deferred while it was
+// held.
+func (d *Driver) Unlock(p *host.Proc, a Addr) error {
+	st := d.page(a.Page())
+	p.UseSys(d.h.Params().SyscallCost)
+	if !st.locked {
+		return fmt.Errorf("core: unlock of unlocked page %d", a.Page())
+	}
+	st.locked = false
+	st.fullUnmappedByLock = false
+	d.flushDeferred(st)
+	return nil
+}
+
+// flushDeferred requeues requests that arrived while the page was locked
+// or purge-pending.
+func (d *Driver) flushDeferred(st *pageState) {
+	for _, r := range st.deferred {
+		d.enqueueWork(workItem{kind: workRedeliver, page: st.page, req: r})
+	}
+	st.deferred = nil
+}
+
+// PageOut implements the Figure-1 pageout rule: all subsets of the
+// addressed view are paged out; supersets stay resident but are unmapped.
+// Pageout applies to replicas only: Mether has no backing store, so
+// evicting a region this host holds the authority for (the consistent
+// copy or the authoritative remainder) would destroy the only current
+// bytes, and the call refuses.
+func (d *Driver) PageOut(a Addr) error {
+	st := d.page(a.Page())
+	if a.IsShort() {
+		if st.owner {
+			return fmt.Errorf("%w: pageout of the consistent copy of page %d", ErrNotPresent, a.Page())
+		}
+		st.shortPresent = false
+		st.fullUnmappedByLock = false
+		st.fullUnmapped = true
+		return nil
+	}
+	if st.owner || st.restOwner {
+		return fmt.Errorf("%w: pageout of an authoritative region of page %d", ErrNotPresent, a.Page())
+	}
+	st.shortPresent = false
+	st.restPresent = false
+	return nil
+}
+
+// PageSnapshot is an observable copy of per-page driver state for tests
+// and diagnostics.
+type PageSnapshot struct {
+	ShortPresent bool
+	RestPresent  bool
+	Owner        bool
+	RestOwner    bool
+	MappedRO     bool
+	MappedRW     bool
+	Locked       bool
+	FullUnmapped bool
+	PurgePending bool
+	WantShort    bool
+	WantRest     bool
+	WantCons     bool
+	DataWaiters  int
+	Gen          uint64
+}
+
+// Snapshot returns the current state of a page on this host.
+func (d *Driver) Snapshot(id vm.PageID) PageSnapshot {
+	st := d.page(id)
+	return PageSnapshot{
+		ShortPresent: st.shortPresent,
+		RestPresent:  st.restPresent,
+		Owner:        st.owner,
+		RestOwner:    st.restOwner,
+		MappedRO:     st.mappedRO,
+		MappedRW:     st.mappedRW,
+		Locked:       st.locked,
+		FullUnmapped: st.fullUnmapped || st.fullUnmappedByLock,
+		PurgePending: st.purgePending,
+		WantShort:    st.wantShort,
+		WantRest:     st.wantRest,
+		WantCons:     st.wantConsistent,
+		DataWaiters:  st.dataWaiters,
+		Gen:          st.frame.Gen(),
+	}
+}
+
+// CheckInvariants verifies the cluster-wide single-consistent-copy
+// invariants over a set of drivers sharing one page space: each page has
+// exactly one owner and one rest-owner, owners hold their regions, and
+// locked/purge-pending flags only appear on owners' pages where required.
+func CheckInvariants(drivers ...*Driver) error {
+	if len(drivers) == 0 {
+		return nil
+	}
+	n := drivers[0].cfg.NumPages
+	for pg := 0; pg < n; pg++ {
+		id := vm.PageID(pg)
+		owners, restOwners := 0, 0
+		for _, d := range drivers {
+			st, ok := d.pages[id]
+			if !ok {
+				continue
+			}
+			if st.owner {
+				owners++
+				if !st.shortPresent {
+					return fmt.Errorf("host %d owns page %d without short presence", d.h.ID(), pg)
+				}
+			}
+			if st.restOwner {
+				restOwners++
+				if !st.restPresent {
+					return fmt.Errorf("host %d rest-owns page %d without rest presence", d.h.ID(), pg)
+				}
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("page %d has %d consistent copies", pg, owners)
+		}
+		if restOwners > 1 {
+			return fmt.Errorf("page %d has %d rest owners", pg, restOwners)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mether/internal/ethernet"
+	"mether/internal/host"
+)
+
+// TestFigure1Rules exercises every row of the paper's Figure 1 — "the
+// rules for subspace operations" — with subset = the short page and
+// superset = the containing full page.
+func TestFigure1Rules(t *testing.T) {
+	// Each subtest builds a two-host cluster where host0 owns page 0 with
+	// non-trivial contents and host1 performs the operation under test.
+	setup := func(t *testing.T) (*testCluster, *Driver, *Driver) {
+		c := newTestCluster(t, 2, ethernet.DefaultParams(), fastConfig(4))
+		d0, d1 := c.drivers[0], c.drivers[1]
+		d0.CreatePage(0)
+		c.spawn(0, "init", func(p *host.Proc) {
+			_ = d0.MapIn(p, RW, 0)
+			_ = d0.Store(p, RW, NewAddr(0, 0), 4, 11)
+			_ = d0.Store(p, RW, NewAddr(0, 4000), 4, 22)
+		})
+		c.run(t, 200*time.Millisecond)
+		return c, d0, d1
+	}
+
+	t.Run("mapping a page in: all subsets must be present, supersets need not be", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		c.spawn(1, "map", func(p *host.Proc) {
+			if err := d1.MapIn(p, RO, 0); err != nil {
+				t.Errorf("MapIn: %v", err)
+			}
+		})
+		c.run(t, 2*time.Second)
+		s := d1.Snapshot(0)
+		if !s.ShortPresent {
+			t.Error("map-in did not make the subset (short page) present")
+		}
+		if s.RestPresent {
+			t.Error("map-in fetched the superset; it need not be present")
+		}
+	})
+
+	t.Run("pagein from the network: all subsets paged in, no supersets paged in", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		// A short-view demand fault pages in exactly the subset.
+		c.spawn(1, "r", func(p *host.Proc) {
+			_ = d1.MapIn(p, RO, 0)
+			if v, _ := d1.Load(p, RO, NewAddr(0, 0).Short(), 4); v != 11 {
+				t.Errorf("short read = %d, want 11", v)
+			}
+		})
+		c.run(t, 2*time.Second)
+		s := d1.Snapshot(0)
+		if !s.ShortPresent || s.RestPresent {
+			t.Errorf("after short pagein: short=%v rest=%v; want subset only", s.ShortPresent, s.RestPresent)
+		}
+		// A full-view fault pages in all subsets (short + remainder).
+		c.spawn(1, "r2", func(p *host.Proc) {
+			if v, _ := d1.Load(p, RO, NewAddr(0, 4000), 4); v != 22 {
+				t.Errorf("full read = %d, want 22", v)
+			}
+		})
+		c.run(t, 4*time.Second)
+		s = d1.Snapshot(0)
+		if !s.ShortPresent || !s.RestPresent {
+			t.Errorf("after full pagein: short=%v rest=%v; want all subsets", s.ShortPresent, s.RestPresent)
+		}
+	})
+
+	t.Run("pageout: all subsets paged out, supersets left paged in but unmapped", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		c.spawn(1, "prime", func(p *host.Proc) {
+			_ = d1.MapIn(p, RO, 0)
+			_, _ = d1.Load(p, RO, NewAddr(0, 4000), 4) // full pagein
+		})
+		c.run(t, 2*time.Second)
+
+		// Pageout of the short page: subset out, superset stays resident
+		// but unmapped.
+		if err := d1.PageOut(NewAddr(0, 0).Short()); err != nil {
+			t.Fatalf("pageout: %v", err)
+		}
+		s := d1.Snapshot(0)
+		if s.ShortPresent {
+			t.Error("short pageout left the subset present")
+		}
+		if !s.RestPresent {
+			t.Error("short pageout evicted the superset remainder")
+		}
+		if !s.FullUnmapped {
+			t.Error("superset should be left unmapped after subset pageout")
+		}
+
+		// Pageout of the full page: all subsets out.
+		c2, _, e1 := setup(t)
+		c2.spawn(1, "prime", func(p *host.Proc) {
+			_ = e1.MapIn(p, RO, 0)
+			_, _ = e1.Load(p, RO, NewAddr(0, 4000), 4)
+		})
+		c2.run(t, 2*time.Second)
+		if err := e1.PageOut(NewAddr(0, 0)); err != nil {
+			t.Fatalf("full pageout: %v", err)
+		}
+		s = e1.Snapshot(0)
+		if s.ShortPresent || s.RestPresent {
+			t.Error("full pageout did not evict all subsets")
+		}
+	})
+
+	t.Run("lock: all subsets must be present else fail and mark wanted", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		c.spawn(1, "locker", func(p *host.Proc) {
+			_ = d1.MapIn(p, RW, 0) // short arrives, remainder does not
+			err := d1.Lock(p, RW, NewAddr(0, 0))
+			if !errors.Is(err, ErrLockFailed) {
+				t.Errorf("lock with absent subset err = %v, want ErrLockFailed", err)
+			}
+			if s := d1.Snapshot(0); !s.WantRest {
+				t.Error("failed lock did not mark the absent subset wanted")
+			}
+		})
+		c.run(t, 2*time.Second)
+	})
+
+	t.Run("lock of subset: supersets must be present and are unmapped, not locked", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		c.spawn(1, "locker", func(p *host.Proc) {
+			_ = d1.MapIn(p, RO, 0)
+			_, _ = d1.Load(p, RO, NewAddr(0, 4000), 4) // make superset present
+			if err := d1.Lock(p, RO, NewAddr(0, 0).Short()); err != nil {
+				t.Errorf("short lock with everything present: %v", err)
+				return
+			}
+			s := d1.Snapshot(0)
+			if !s.Locked {
+				t.Error("lock did not take")
+			}
+			if !s.FullUnmapped {
+				t.Error("superset not unmapped during subset lock")
+			}
+			if err := d1.Unlock(p, NewAddr(0, 0).Short()); err != nil {
+				t.Errorf("unlock: %v", err)
+			}
+			if s := d1.Snapshot(0); s.FullUnmapped {
+				t.Error("superset still unmapped after unlock")
+			}
+		})
+		c.run(t, 2*time.Second)
+	})
+
+	t.Run("page fault: all subsets must be present, supersets need not be", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		c.spawn(1, "r", func(p *host.Proc) {
+			_ = d1.MapIn(p, RO, 0)
+			// A full-view access at offset 10 needs the subset (short);
+			// satisfying it must not require the superset remainder.
+			if v, _ := d1.Load(p, RO, NewAddr(0, 10).Short(), 2); v != 0 {
+				_ = v
+			}
+		})
+		c.run(t, 2*time.Second)
+		if s := d1.Snapshot(0); s.RestPresent {
+			t.Error("fault on short view paged in the superset")
+		}
+	})
+
+	t.Run("purge: all consistent subsets are purged, supersets are not affected", func(t *testing.T) {
+		c, _, d1 := setup(t)
+		c.spawn(1, "p", func(p *host.Proc) {
+			_ = d1.MapIn(p, RO, 0)
+			_, _ = d1.Load(p, RO, NewAddr(0, 4000), 4) // full present
+			// Purging the short view invalidates the subset only.
+			_ = d1.Purge(p, RO, NewAddr(0, 0).Short())
+			s := d1.Snapshot(0)
+			if s.ShortPresent {
+				t.Error("short purge left subset present")
+			}
+			if !s.RestPresent {
+				t.Error("short purge affected the superset")
+			}
+			// Re-fetch, then purge the full view: all subsets go.
+			_, _ = d1.Load(p, RO, NewAddr(0, 0).Short(), 4)
+			_ = d1.Purge(p, RO, NewAddr(0, 0))
+			s = d1.Snapshot(0)
+			if s.ShortPresent || s.RestPresent {
+				t.Error("full purge did not invalidate all subsets")
+			}
+		})
+		c.run(t, 4*time.Second)
+	})
+}

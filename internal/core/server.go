@@ -1,0 +1,373 @@
+package core
+
+import (
+	"time"
+
+	"mether/internal/ethernet"
+	"mether/internal/host"
+	"mether/internal/proto"
+)
+
+// StartServer spawns the host's user-level Mether server process (a
+// no-op in kernel-server mode, where FrameArrived and enqueueWork drive
+// interrupt-level processing directly). The
+// server is an ordinary timesharing process — which is the point: it
+// competes for the CPU with the application, and a spinning client
+// starves it. It drains the NIC receive ring and the driver work queue,
+// sleeping when both are empty.
+func (d *Driver) StartServer() {
+	if d.cfg.KernelServer {
+		return
+	}
+	d.server = d.h.Spawn("metherd", d.serve)
+}
+
+// Server returns the server process (nil before StartServer).
+func (d *Driver) Server() *host.Proc { return d.server }
+
+func (d *Driver) serve(p *host.Proc) {
+	for !d.stopped {
+		if f, ok := d.nic.Recv(); ok {
+			d.handleFrame(p, f)
+			continue
+		}
+		if len(d.workq) > 0 {
+			w := d.workq[0]
+			d.workq = d.workq[1:]
+			d.handleWork(p, w)
+			continue
+		}
+		p.SleepOn(serverKey{d.h.ID()})
+	}
+}
+
+// Stop makes the server exit at its next scheduling point.
+func (d *Driver) Stop() {
+	d.stopped = true
+	d.h.Wakeup(serverKey{d.h.ID()})
+}
+
+// handleWork processes one driver-originated work item.
+func (d *Driver) handleWork(p cpuSink, w workItem) {
+	st := d.page(w.page)
+	switch w.kind {
+	case workSendReq:
+		d.sendRequest(p, st)
+	case workPurge:
+		d.servePurge(p, st)
+	case workRedeliver:
+		if w.req.rest {
+			d.serveRestRequest(p, st, w.req.from, w.req.reqID)
+		} else {
+			d.serveRequest(p, st, w.req)
+		}
+	}
+}
+
+// sendRequest transmits the demand request implied by the page's want
+// bits and arms the retransmit timer.
+func (d *Driver) sendRequest(p cpuSink, st *pageState) {
+	if !st.wantsAnything() {
+		st.reqInFlight = false
+		return
+	}
+	st.reqAskedCons = st.wantConsistent
+	st.reqAskedRest = st.wantRest
+	var pkt proto.Packet
+	if st.owner && st.wantRest && !st.wantConsistent && !st.wantShort {
+		// We hold the consistent copy but need the authoritative
+		// remainder (ownership arrived via a short transfer).
+		pkt = proto.Packet{Type: proto.TypeRestRequest, Page: st.page, From: d.id, OwnerTo: proto.NoOwner, ReqID: st.reqID}
+	} else {
+		pkt = proto.Packet{
+			Type:       proto.TypeRequest,
+			Page:       st.page,
+			Short:      !st.wantRest,
+			Consistent: st.wantConsistent,
+			From:       d.id,
+			OwnerTo:    proto.NoOwner,
+			ReqID:      st.reqID,
+		}
+	}
+	st.reqID++
+	d.m.RequestsSent++
+	d.transmit(p, pkt)
+	d.armRetry(st)
+}
+
+// armRetry schedules a retransmit if the wants are still outstanding
+// after the retry timeout. Mether runs over unreliable datagrams:
+// requests, replies and grants can all be lost, and the demand path must
+// recover on its own.
+func (d *Driver) armRetry(st *pageState) {
+	if st.retry != nil {
+		st.retry.Cancel()
+	}
+	st.retry = d.h.Kernel().After(d.cfg.RetryTimeout, "mether retry", func() {
+		st.retry = nil
+		if !st.wantsAnything() {
+			st.reqInFlight = false
+			return
+		}
+		d.m.Retries++
+		d.enqueueWork(workItem{kind: workSendReq, page: st.page})
+	})
+}
+
+// clearRetryIfDone cancels the retransmit timer once nothing is wanted.
+func (d *Driver) clearRetryIfDone(st *pageState) {
+	if st.wantsAnything() {
+		return
+	}
+	st.reqInFlight = false
+	if st.retry != nil {
+		st.retry.Cancel()
+		st.retry = nil
+	}
+}
+
+// servePurge broadcasts a read-only copy of a purge-pending page and
+// issues DO-PURGE, waking the blocked purger.
+func (d *Driver) servePurge(p cpuSink, st *pageState) {
+	if !st.purgePending {
+		return
+	}
+	d.m.PurgeSends++
+	d.sendData(p, st, st.purgeShort, proto.NoOwner)
+	// DO-PURGE: clear purge pending and wake the waiting process.
+	st.purgePending = false
+	d.flushDeferred(st)
+	d.h.Wakeup(purgeKey{st.page})
+}
+
+// serveRequest answers a remote demand request if this host can.
+func (d *Driver) serveRequest(p cpuSink, st *pageState, r deferredReq) {
+	if !st.owner {
+		// Ownership-grant retransmit: if we granted the consistent copy
+		// to this very requester and it is still asking, the grant was
+		// lost on the wire — resend it (idempotent at the receiver).
+		// Rest authority rides along only if it was granted to the same
+		// host; otherwise resend the short grant alone.
+		if r.cons && st.grantedTo == r.from && st.shortPresent {
+			short := r.short || !st.restPresent || st.grantedRestTo != r.from
+			d.sendData(p, st, short, int(r.from))
+		}
+		return
+	}
+	if st.locked || st.purgePending {
+		d.m.Deferred++
+		st.deferred = append(st.deferred, r)
+		return
+	}
+	if r.cons {
+		// Anti-thrash holdoff: a freshly arrived consistent copy must
+		// stay long enough for the local client to use it once.
+		if held := d.h.Kernel().Now() - st.installedAt; held < d.cfg.MinResidency {
+			d.m.HoldOffs++
+			rr := r
+			d.h.Kernel().After(d.cfg.MinResidency-held, "mether holdoff", func() {
+				d.enqueueWork(workItem{kind: workRedeliver, page: st.page, req: rr})
+			})
+			return
+		}
+	}
+	short := r.short
+	if !short && !st.restPresent {
+		// Asked for the full page but the remainder lives elsewhere:
+		// serve the short page plus ownership; the requester will
+		// rest-fetch from the rest owner.
+		short = true
+	}
+	if r.cons && !short && !st.restOwner {
+		// We hold stale rest bytes but not the rest authority: a full
+		// consistency grant would mint a second rest owner. Grant the
+		// short region only.
+		short = true
+	}
+	ownerTo := proto.NoOwner
+	if r.cons {
+		ownerTo = int(r.from)
+	}
+	d.sendData(p, st, short, ownerTo)
+	if r.cons {
+		// The consistent copy leaves; our bytes stay resident as an
+		// inconsistent copy (writable mappings will fault from now on).
+		st.owner = false
+		st.grantedTo = r.from
+		if !short {
+			st.restOwner = false
+			st.grantedRestTo = r.from
+		}
+	}
+}
+
+// sendData broadcasts page bytes (the only way data ever moves). Every
+// TypeData transit refreshes all resident copies cluster-wide.
+func (d *Driver) sendData(p cpuSink, st *pageState, short bool, ownerTo int) {
+	data := st.frame.Snapshot(short)
+	pkt := proto.Packet{
+		Type:    proto.TypeData,
+		Page:    st.page,
+		Short:   short,
+		From:    d.id,
+		OwnerTo: int8(ownerTo),
+		Gen:     uint32(st.frame.Gen()),
+		Data:    data,
+	}
+	d.m.DataSent++
+	d.transmit(p, pkt)
+}
+
+// transmit encodes and sends one packet, charging the server's CPU cost.
+func (d *Driver) transmit(p cpuSink, pkt proto.Packet) {
+	buf, err := proto.Encode(pkt)
+	if err != nil {
+		panic("core: internal packet encode failure: " + err.Error())
+	}
+	p.UseSys(d.cfg.PacketCost + time.Duration(len(pkt.Data))*d.cfg.ByteCost)
+	d.nic.Send(ethernet.Broadcast, buf)
+}
+
+// handleFrame processes one received datagram.
+func (d *Driver) handleFrame(p cpuSink, f ethernet.Frame) {
+	pkt, err := proto.Decode(f.Payload)
+	if err != nil {
+		// Corrupt datagram: charge minimal handling and drop.
+		p.UseSys(d.cfg.PacketCost)
+		return
+	}
+	p.UseSys(d.cfg.PacketCost + time.Duration(len(pkt.Data))*d.cfg.ByteCost)
+	st := d.page(pkt.Page)
+	switch pkt.Type {
+	case proto.TypeRequest:
+		d.serveRequest(p, st, deferredReq{from: pkt.From, short: pkt.Short, cons: pkt.Consistent, reqID: pkt.ReqID})
+	case proto.TypeData:
+		d.handleData(st, pkt)
+	case proto.TypeRestRequest:
+		d.serveRestRequest(p, st, pkt.From, pkt.ReqID)
+	case proto.TypeRestData:
+		d.handleRestData(st, pkt)
+	}
+}
+
+// handleData implements the snoopy receive path for page broadcasts.
+func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
+	st.transitSeq++
+	gen := uint64(pkt.Gen)
+	toMe := int(pkt.OwnerTo) == d.h.ID()
+	switch {
+	case toMe && st.owner && gen < st.frame.Gen():
+		// A duplicate of an ownership grant we already installed (the
+		// sender retransmits grants because they can be lost). Installing
+		// it would regress our consistent copy to pre-write contents.
+		d.m.StaleDrops++
+	case toMe:
+		// Ownership transfer addressed to us: install.
+		if st.frame.Install(pkt.Data, gen) != nil {
+			return
+		}
+		st.owner = true
+		st.grantedTo = proto.NoOwner
+		st.installedAt = d.h.Kernel().Now()
+		st.shortPresent = true
+		st.wantShort = false
+		st.wantConsistent = false
+		if !pkt.Short {
+			st.restPresent = true
+			st.restOwner = true
+			st.grantedRestTo = proto.NoOwner
+			st.wantRest = false
+		}
+		d.m.Installs++
+		d.clearRetryIfDone(st)
+	case st.owner:
+		// We hold the consistent copy: a passing transit never clobbers it.
+		d.m.StaleDrops++
+	case gen >= st.frame.Gen():
+		wanted := st.wantShort || (st.wantRest && !pkt.Short)
+		switch {
+		case wanted || st.dataWaiters > 0:
+			// Satisfy demand waiters (non-consistent needs) and
+			// data-driven sleepers: install the covered region.
+			if st.frame.Install(pkt.Data, gen) != nil {
+				return
+			}
+			st.shortPresent = true
+			st.wantShort = false
+			if !pkt.Short {
+				st.restPresent = true
+				st.wantRest = false
+			}
+			d.m.Installs++
+			d.clearRetryIfDone(st)
+		case st.shortPresent:
+			// Snoopy refresh of a resident inconsistent copy.
+			if st.frame.Install(pkt.Data, gen) != nil {
+				return
+			}
+			if !pkt.Short {
+				st.restPresent = true
+			}
+			d.m.Refreshes++
+		}
+	default:
+		d.m.StaleDrops++
+	}
+	// Every transit wakes the page's waiters: data-driven sleepers must
+	// observe every passing copy (they compare generations themselves),
+	// and demand waiters re-check their needs.
+	d.h.Wakeup(waitKey{st.page})
+}
+
+// serveRestRequest answers a remainder fetch if we hold the authority.
+func (d *Driver) serveRestRequest(p cpuSink, st *pageState, from int8, reqID uint16) {
+	if !st.restOwner {
+		if st.grantedRestTo == from && st.restPresent {
+			// Lost rest-grant retransmit.
+			d.sendRestData(p, st, from)
+		}
+		return
+	}
+	if st.locked || st.purgePending {
+		d.m.Deferred++
+		st.deferred = append(st.deferred, deferredReq{from: from, rest: true, reqID: reqID})
+		return
+	}
+	d.sendRestData(p, st, from)
+	st.restOwner = false
+	st.grantedRestTo = from
+}
+
+func (d *Driver) sendRestData(p cpuSink, st *pageState, to int8) {
+	out := proto.Packet{
+		Type:    proto.TypeRestData,
+		Page:    st.page,
+		From:    d.id,
+		OwnerTo: to,
+		Gen:     uint32(st.frame.Gen()),
+		Data:    st.frame.SnapshotRest(),
+	}
+	d.m.RestSent++
+	d.transmit(p, out)
+}
+
+// handleRestData installs or refreshes the superset remainder.
+func (d *Driver) handleRestData(st *pageState, pkt proto.Packet) {
+	if int(pkt.OwnerTo) == d.h.ID() {
+		if st.frame.InstallRest(pkt.Data) != nil {
+			return
+		}
+		st.restPresent = true
+		st.restOwner = true
+		st.grantedRestTo = proto.NoOwner
+		st.wantRest = false
+		d.m.Installs++
+		d.clearRetryIfDone(st)
+	} else if st.restPresent && !st.restOwner {
+		if st.frame.InstallRest(pkt.Data) != nil {
+			return
+		}
+		d.m.Refreshes++
+	}
+	d.h.Wakeup(waitKey{st.page})
+}

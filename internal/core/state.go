@@ -1,0 +1,154 @@
+package core
+
+import (
+	"time"
+
+	"mether/internal/sim"
+	"mether/internal/stats"
+	"mether/internal/vm"
+)
+
+// pageState is the driver's per-page bookkeeping on one host. The frame
+// holds the bytes; the booleans track which regions are resident and
+// authoritative. Invariants maintained cluster-wide (and asserted by
+// tests via CheckInvariants):
+//
+//   - exactly one host has owner=true per page (the consistent copy);
+//   - exactly one host has restOwner=true per page (the authoritative
+//     superset remainder, which can lag behind the owner after a
+//     short-view ownership transfer);
+//   - restOwner implies restPresent; owner implies shortPresent.
+type pageState struct {
+	page  vm.PageID
+	frame *vm.Frame
+
+	shortPresent bool // first 32 bytes resident
+	restPresent  bool // bytes [32, 8192) resident
+	owner        bool // this host holds the consistent copy
+	restOwner    bool // this host holds the authoritative remainder
+
+	mappedRO bool
+	mappedRW bool
+	locked   bool
+	// fullUnmappedByLock marks the superset unmapped for the duration of
+	// a short-view lock; fullUnmapped marks it unmapped after a pageout
+	// (Figure-1 rules; remapping is implicit on next access).
+	fullUnmappedByLock bool
+	fullUnmapped       bool
+
+	purgePending bool
+	purgeShort   bool // extent of the pending purge broadcast
+
+	// grantedTo / grantedRestTo remember the last host each authority was
+	// granted to, so a lost grant can be retransmitted when the grantee
+	// asks again (datagram transport loses packets).
+	grantedTo     int8
+	grantedRestTo int8
+
+	// installedAt is when ownership last arrived here. The server defers
+	// serving steal requests until MinResidency has elapsed, so the local
+	// client gets one chance to use a page it faulted in — without this
+	// anti-thrash holdoff two writers ping-pong a page without either
+	// making progress.
+	installedAt time.Duration
+
+	// Demand-driven fault state: which regions/rights the local waiters
+	// need, whether a request is on the wire, and the retry timer.
+	wantShort      bool
+	wantRest       bool
+	wantConsistent bool
+	reqInFlight    bool
+	// reqAskedCons / reqAskedRest record what the in-flight request asked
+	// for, so escalated needs (e.g. a write fault joining a read fault)
+	// trigger an immediate new request instead of waiting for the retry.
+	reqAskedCons bool
+	reqAskedRest bool
+	reqID        uint16
+	retry        *sim.Event
+
+	// dataWaiters counts processes blocked in data-driven faults; they
+	// are woken by any transit of the page.
+	dataWaiters int
+	// transitSeq counts every observed transit of this page; dataArmSeq
+	// records the count at the application's last read-only purge. A
+	// data-driven fault that finds the two unequal knows a transit slipped
+	// into the purge→touch window and falls back to a demand fetch
+	// instead of blocking for a broadcast that will never recur.
+	transitSeq uint64
+	dataArmSeq uint64
+
+	// deferred requests received while the page was locked or mid-purge.
+	deferred []deferredReq
+}
+
+type deferredReq struct {
+	from  int8
+	short bool
+	cons  bool
+	rest  bool // a rest-fetch rather than a page request
+	reqID uint16
+}
+
+// fullPresent reports whether the whole page is resident.
+func (st *pageState) fullPresent() bool { return st.shortPresent && st.restPresent }
+
+// wantsAnything reports whether demand state remains outstanding.
+func (st *pageState) wantsAnything() bool {
+	return st.wantShort || st.wantRest || st.wantConsistent
+}
+
+// reqCoversWants reports whether the in-flight request already asked for
+// everything currently wanted.
+func (st *pageState) reqCoversWants() bool {
+	if st.wantConsistent && !st.reqAskedCons {
+		return false
+	}
+	if st.wantRest && !st.reqAskedRest {
+		return false
+	}
+	return true
+}
+
+// waitKey is the sleep channel for processes blocked on a page (demand
+// and data-driven waiters alike; they re-check their condition on wake).
+type waitKey struct {
+	page vm.PageID
+}
+
+// purgeKey is the sleep channel for a process blocked in a writable
+// PURGE awaiting the server's DO-PURGE.
+type purgeKey struct {
+	page vm.PageID
+}
+
+// serverKey is the sleep channel of the host's user-level server.
+type serverKey struct {
+	host int
+}
+
+// Metrics aggregates one host's driver/server counters. Latency is
+// measured from first fault to access satisfaction, like the paper's
+// "mean time required for a page fault".
+type Metrics struct {
+	DemandFaults  uint64
+	DataFaults    uint64
+	RequestsSent  uint64
+	Retries       uint64
+	DataSent      uint64 // TypeData broadcasts sent (requests served + purges)
+	PurgeSends    uint64 // subset of DataSent caused by writable purges
+	RestSent      uint64
+	Installs      uint64 // copies installed because wanted/addressed to us
+	Refreshes     uint64 // snoopy refreshes of resident copies
+	StaleDrops    uint64 // broadcasts ignored because generation was older
+	PurgesRO      uint64
+	PurgesRW      uint64
+	LockFails     uint64
+	Deferred      uint64 // requests deferred due to lock/purge
+	DataFallbacks uint64 // data faults converted to demand (missed transit)
+	HoldOffs      uint64 // steal requests delayed by the residency holdoff
+	// KernelTime is CPU consumed by interrupt-level protocol processing
+	// in kernel-server mode (zero with the user-level server).
+	KernelTime time.Duration
+
+	FaultLatency stats.Histogram
+}

@@ -1,0 +1,67 @@
+package ethernet
+
+import (
+	"time"
+
+	"mether/internal/sim"
+)
+
+// Bridge connects two segments the way the paper's multi-trunk Ethernet
+// does: frames arriving on one segment are queued and re-transmitted on
+// the other after a store-and-forward delay that depends on queue depth.
+//
+// The paper uses exactly this topology to argue that global consistency
+// is untenable: "Two hosts on different trunks can issue purges. Which
+// purge goes out first depends on the depth of the queues in the hosts
+// and the bridges, which in turn depends on background network traffic
+// on each branch." The bridge model lets tests demonstrate that hosts on
+// different trunks can observe the same pair of purges in opposite
+// orders — the impossibility result motivating Mether's design.
+type Bridge struct {
+	k        *sim.Kernel
+	a, b     *Bus
+	aPort    *NIC
+	bPort    *NIC
+	delay    time.Duration
+	aBacklog time.Duration // extra queueing toward segment A
+	bBacklog time.Duration // extra queueing toward segment B
+
+	forwarded uint64
+}
+
+// NewBridge joins segments a and b with the given store-and-forward
+// delay. The bridge occupies one NIC address on each segment.
+func NewBridge(k *sim.Kernel, a, b *Bus, delay time.Duration) *Bridge {
+	br := &Bridge{k: k, a: a, b: b, delay: delay}
+	br.aPort = a.Attach("bridge", func() { br.pump(br.aPort, br.bPort, &br.bBacklog) })
+	br.bPort = b.Attach("bridge", func() { br.pump(br.bPort, br.aPort, &br.aBacklog) })
+	return br
+}
+
+// SetBacklog models asymmetric background traffic: frames crossing
+// toward segment A (respectively B) are additionally delayed by the
+// given amount — the "depth of the queues ... depends on background
+// network traffic on each branch".
+func (br *Bridge) SetBacklog(towardA, towardB time.Duration) {
+	br.aBacklog = towardA
+	br.bBacklog = towardB
+}
+
+// Forwarded returns the number of frames the bridge has relayed.
+func (br *Bridge) Forwarded() uint64 { return br.forwarded }
+
+// pump drains one port's ring onto the other segment.
+func (br *Bridge) pump(from, to *NIC, backlog *time.Duration) {
+	for {
+		f, ok := from.Recv()
+		if !ok {
+			return
+		}
+		payload := f.Payload
+		dst := f.Dst
+		br.forwarded++
+		br.k.After(br.delay+*backlog, "bridge forward", func() {
+			to.Send(dst, payload)
+		})
+	}
+}

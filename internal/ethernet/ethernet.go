@@ -1,0 +1,248 @@
+// Package ethernet simulates a shared 10 Mb/s broadcast Ethernet segment
+// of the kind Mether ran on: a single serialized medium with per-frame
+// framing overhead, propagation delay, optional random frame loss, and
+// finite per-NIC receive rings whose overflow silently drops frames.
+//
+// The model is deliberately simple — frames are serialized in FIFO order
+// rather than via CSMA/CD contention — because the paper's protocols are
+// sensitive to bandwidth, per-packet cost, broadcast fan-out and loss,
+// not to collision micro-behaviour.
+package ethernet
+
+import (
+	"fmt"
+	"time"
+
+	"mether/internal/sim"
+)
+
+// Broadcast is the destination address that delivers a frame to every
+// attached NIC except the sender.
+const Broadcast = -1
+
+// Params configures the simulated segment. The zero value is not useful;
+// start from DefaultParams.
+type Params struct {
+	// BandwidthBps is the raw signalling rate in bits per second.
+	BandwidthBps int64
+	// PropDelay is the propagation delay from transmitter to every
+	// receiver.
+	PropDelay time.Duration
+	// FrameOverhead is the per-frame byte overhead added to the payload
+	// on the wire (Ethernet header+FCS plus IP/UDP headers: Mether used
+	// UDP/IP datagrams).
+	FrameOverhead int
+	// MinFrameBytes is the minimum wire size of a frame; shorter frames
+	// are padded (affects timing and wire-byte accounting).
+	MinFrameBytes int
+	// InterFrameGap is idle time enforced between frames.
+	InterFrameGap time.Duration
+	// LossRate is the probability that a transmitted frame is corrupted
+	// and delivered to no receiver.
+	LossRate float64
+	// RxRing is the per-NIC receive ring capacity; arrivals beyond it
+	// are dropped (receiver overrun, the era's common loss mode).
+	RxRing int
+}
+
+// DefaultParams returns the 10 Mb/s Ethernet + UDP/IP model used for the
+// paper reproduction: 46 bytes of header overhead (18 Ethernet + 20 IP +
+// 8 UDP), 64-byte minimum frames and a 32-frame receive ring.
+func DefaultParams() Params {
+	return Params{
+		BandwidthBps:  10_000_000,
+		PropDelay:     50 * time.Microsecond,
+		FrameOverhead: 46,
+		MinFrameBytes: 64,
+		InterFrameGap: 10 * time.Microsecond,
+		LossRate:      0,
+		RxRing:        32,
+	}
+}
+
+// Frame is one datagram on the segment. Payload is owned by the
+// receiver; the bus copies on send.
+type Frame struct {
+	Src     int // sending NIC id
+	Dst     int // receiving NIC id or Broadcast
+	Payload []byte
+}
+
+// Stats aggregates segment-wide counters.
+type Stats struct {
+	Frames       uint64 // frames transmitted
+	WireBytes    uint64 // bytes on the wire including overhead and padding
+	PayloadBytes uint64 // payload bytes only
+	WireLost     uint64 // frames corrupted on the wire (LossRate)
+	RingDrops    uint64 // per-receiver drops due to full rings
+	BusyTime     time.Duration
+}
+
+// Bus is one shared segment. Attach NICs before sending.
+type Bus struct {
+	k         *sim.Kernel
+	p         Params
+	nics      []*NIC
+	busyUntil time.Duration
+	stats     Stats
+}
+
+// NewBus creates a segment driven by kernel k.
+func NewBus(k *sim.Kernel, p Params) *Bus {
+	if p.BandwidthBps <= 0 {
+		panic("ethernet: BandwidthBps must be positive")
+	}
+	return &Bus{k: k, p: p}
+}
+
+// Params returns the segment's configuration.
+func (b *Bus) Params() Params { return b.p }
+
+// Stats returns a snapshot of the segment counters. Ring drops are summed
+// over all NICs.
+func (b *Bus) Stats() Stats {
+	s := b.stats
+	for _, n := range b.nics {
+		s.RingDrops += n.drops
+	}
+	return s
+}
+
+// Utilization returns the fraction of wall time the wire was busy.
+func (b *Bus) Utilization(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(wall)
+}
+
+// Attach adds a NIC to the segment. intr is invoked in kernel event
+// context whenever a frame is queued into the NIC's receive ring; it is
+// typically wired to a host interrupt that wakes the Mether server.
+func (b *Bus) Attach(name string, intr func()) *NIC {
+	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr}
+	b.nics = append(b.nics, n)
+	return n
+}
+
+// NIC is one station on the segment.
+type NIC struct {
+	bus   *Bus
+	id    int
+	name  string
+	ring  []Frame
+	intr  func()
+	drops uint64
+	down  bool
+}
+
+// SetDown takes the station off the wire (or back on): while down it
+// neither receives nor transmits, modelling the paper's "hosts may
+// become unreachable for a period of time and yet still have a copy of
+// the page". State held in the host is untouched.
+func (n *NIC) SetDown(down bool) { n.down = down }
+
+// Down reports whether the station is off the wire.
+func (n *NIC) Down() bool { return n.down }
+
+// ID returns the NIC's address on the segment.
+func (n *NIC) ID() int { return n.id }
+
+// Name returns the diagnostic name given at Attach.
+func (n *NIC) Name() string { return n.name }
+
+// Drops returns the number of frames dropped because this NIC's receive
+// ring was full.
+func (n *NIC) Drops() uint64 { return n.drops }
+
+// Pending returns the number of frames waiting in the receive ring.
+func (n *NIC) Pending() int { return len(n.ring) }
+
+// Recv dequeues the oldest received frame, reporting false if the ring
+// is empty.
+func (n *NIC) Recv() (Frame, bool) {
+	if len(n.ring) == 0 {
+		return Frame{}, false
+	}
+	f := n.ring[0]
+	n.ring = n.ring[1:]
+	return f, true
+}
+
+// wireBytes returns the on-wire size of a payload.
+func (b *Bus) wireBytes(payload int) int {
+	w := payload + b.p.FrameOverhead
+	if w < b.p.MinFrameBytes {
+		w = b.p.MinFrameBytes
+	}
+	return w
+}
+
+// txTime returns the serialization delay for one frame of the given
+// on-wire size.
+func (b *Bus) txTime(wire int) time.Duration {
+	bits := int64(wire) * 8
+	return time.Duration(bits * int64(time.Second) / b.p.BandwidthBps)
+}
+
+// Send transmits payload from this NIC to dst (a NIC id or Broadcast).
+// The call returns immediately; delivery happens after the medium frees
+// up, serialization and propagation. The payload is copied.
+func (n *NIC) Send(dst int, payload []byte) {
+	if n.down {
+		return
+	}
+	b := n.bus
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	f := Frame{Src: n.id, Dst: dst, Payload: cp}
+
+	wire := b.wireBytes(len(payload))
+	start := b.k.Now()
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	dur := b.txTime(wire)
+	b.busyUntil = start + dur + b.p.InterFrameGap
+
+	b.stats.Frames++
+	b.stats.WireBytes += uint64(wire)
+	b.stats.PayloadBytes += uint64(len(payload))
+	b.stats.BusyTime += dur
+
+	lost := b.p.LossRate > 0 && b.k.Rand().Float64() < b.p.LossRate
+	b.k.At(start+dur+b.p.PropDelay, "eth deliver", func() {
+		if lost {
+			b.stats.WireLost++
+			return
+		}
+		for _, rx := range b.nics {
+			if rx.id == n.id {
+				continue
+			}
+			if dst != Broadcast && dst != rx.id {
+				continue
+			}
+			rx.deliver(f)
+		}
+	})
+}
+
+// deliver queues a frame into the receive ring, dropping on overflow.
+func (rx *NIC) deliver(f Frame) {
+	if rx.down {
+		return
+	}
+	if len(rx.ring) >= rx.bus.p.RxRing {
+		rx.drops++
+		return
+	}
+	rx.ring = append(rx.ring, f)
+	if rx.intr != nil {
+		rx.intr()
+	}
+}
+
+func (n *NIC) String() string {
+	return fmt.Sprintf("nic %d (%s)", n.id, n.name)
+}

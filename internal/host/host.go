@@ -1,0 +1,421 @@
+// Package host simulates a SunOS-4.0-era workstation: one CPU, a
+// round-robin time-slice scheduler, context-switch and trap costs, and
+// per-process user/system CPU accounting.
+//
+// The scheduler model is the load-bearing part of the Mether reproduction.
+// The paper's central performance phenomenon is that a client process
+// spinning on memory starves the user-level Mether server of CPU: a
+// runnable server must wait for the spinner's quantum to expire, which is
+// what stretches page-fault latencies to tens of milliseconds and what the
+// later protocols avoid by blocking instead of spinning. Processes here
+// are preempted only at quantum expiry (no wakeup priority boost), which
+// matches the behaviour the paper observed for compute-bound processes.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"mether/internal/sim"
+)
+
+// CPUKind selects the accounting bucket that a slice of CPU time is
+// charged to, mirroring the user/sys split the paper reports.
+type CPUKind uint8
+
+const (
+	// CPUUser is time spent in application code (spins, increments).
+	CPUUser CPUKind = iota + 1
+	// CPUSys is time spent in the kernel or the Mether user-level server
+	// on the process's behalf (traps, syscalls, packet handling).
+	CPUSys
+)
+
+// Params holds the host cost model. All constants were calibrated against
+// the paper's Figures 4-9; see EXPERIMENTS.md for the calibration notes.
+type Params struct {
+	// Quantum is the round-robin time slice. A runnable process must wait
+	// for the current process's quantum to expire before it is dispatched
+	// (unless the CPU is idle).
+	Quantum time.Duration
+	// CtxSwitch is the direct cost of a context switch, charged as system
+	// time to the incoming process.
+	CtxSwitch time.Duration
+	// DispatchLatency is extra scheduler latency on every dispatch.
+	DispatchLatency time.Duration
+	// TrapCost is the kernel entry/exit cost of a page-fault trap.
+	TrapCost time.Duration
+	// SyscallCost is the kernel entry/exit cost of a system call.
+	SyscallCost time.Duration
+	// InterruptCost is the delay between a NIC receive and the wakeup of
+	// the process sleeping on it (interrupt + protocol input processing).
+	InterruptCost time.Duration
+	// PreemptOnWake, when true, lets a woken process preempt the current
+	// one at once instead of waiting for quantum expiry. SunOS 4.0 did
+	// not do this for compute-bound timesharing processes; the flag
+	// exists for ablation experiments.
+	PreemptOnWake bool
+	// WakeBoostDelay models the SunOS wakeup priority boost: a process
+	// woken from a sleep preempts a CPU-bound process after roughly this
+	// delay (priority recomputation at clock ticks), rather than waiting
+	// for full quantum expiry. Two processes that never sleep (mutual
+	// spinners) still alternate whole quanta. Zero disables the boost.
+	WakeBoostDelay time.Duration
+}
+
+// DefaultParams returns the calibrated Sun-3/50-class cost model. The
+// quantum and context-switch costs are fitted to the paper's two-process
+// local baseline (81 s wall, ~37 s CPU per process for 1024 additions:
+// one quantum plus one switch per addition) and its remark that a context
+// switch "as a rule of thumb takes a few milliseconds".
+func DefaultParams() Params {
+	return Params{
+		Quantum:         70 * time.Millisecond,
+		CtxSwitch:       3 * time.Millisecond,
+		DispatchLatency: 300 * time.Microsecond,
+		TrapCost:        800 * time.Microsecond,
+		SyscallCost:     400 * time.Microsecond,
+		InterruptCost:   300 * time.Microsecond,
+		WakeBoostDelay:  15 * time.Millisecond,
+	}
+}
+
+type procState uint8
+
+const (
+	stateRunnable procState = iota + 1
+	stateRunning
+	stateBlocked
+	stateDead
+)
+
+// Trace, when set, receives one line per scheduling event (dispatches,
+// quantum expiries, boost preemptions). Intended for debugging and tests;
+// nil disables tracing.
+var Trace func(format string, args ...any)
+
+func tracef(format string, args ...any) {
+	if Trace != nil {
+		Trace(format, args...)
+	}
+}
+
+// Host is one simulated workstation.
+type Host struct {
+	k    *sim.Kernel
+	id   int
+	name string
+	pr   Params
+
+	cur         *Proc
+	runq        []*Proc
+	dispatching bool
+	ctxSwitches uint64
+	sleepers    map[any][]*Proc
+	procs       []*Proc
+	busy        time.Duration // total CPU busy time
+}
+
+// New creates a host scheduled by kernel k.
+func New(k *sim.Kernel, id int, name string, pr Params) *Host {
+	if pr.Quantum <= 0 {
+		panic("host: Quantum must be positive")
+	}
+	return &Host{k: k, id: id, name: name, pr: pr, sleepers: make(map[any][]*Proc)}
+}
+
+// Kernel returns the simulation kernel driving this host.
+func (h *Host) Kernel() *sim.Kernel { return h.k }
+
+// ID returns the host's cluster-unique id.
+func (h *Host) ID() int { return h.id }
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Params returns the host's cost model.
+func (h *Host) Params() Params { return h.pr }
+
+// ContextSwitches returns the number of dispatches performed so far.
+func (h *Host) ContextSwitches() uint64 { return h.ctxSwitches }
+
+// BusyTime returns total CPU time consumed by all processes.
+func (h *Host) BusyTime() time.Duration { return h.busy }
+
+// Procs returns all processes ever spawned on this host.
+func (h *Host) Procs() []*Proc { return h.procs }
+
+// Proc is a simulated OS process. Methods other than accessors must be
+// called only from the process's own goroutine (inside its Spawn
+// function); Wakeup-style operations go through the Host.
+type Proc struct {
+	h     *Host
+	sp    *sim.Proc
+	name  string
+	state procState
+
+	user time.Duration
+	sys  time.Duration
+
+	quantumUsed time.Duration
+	inRunq      bool
+	// dispatchSeq counts dispatches; wake-boost events capture it to
+	// detect staleness.
+	dispatchSeq uint64
+
+	// blocked bookkeeping
+	sleepKey any
+}
+
+// Spawn creates a process and makes it runnable. fn runs under the
+// simulation's handoff discipline and should express all CPU consumption
+// through Use/UseUser/UseSys and all blocking through the Sleep methods.
+func (h *Host) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{h: h, name: name, state: stateRunnable}
+	h.procs = append(h.procs, p)
+	p.sp = h.k.Spawn(fmt.Sprintf("%s/%s", h.name, name), func(sp *sim.Proc) {
+		// Wait to be dispatched for the first time.
+		p.acquireCPU()
+		fn(p)
+		p.state = stateDead
+		if h.cur == p {
+			h.cur = nil
+			h.maybeDispatch()
+		}
+	})
+	h.enqueue(p)
+	h.maybeDispatch()
+	return p
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Host returns the process's host.
+func (p *Proc) Host() *Host { return p.h }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.h.k.Now() }
+
+// User returns accumulated user-mode CPU time.
+func (p *Proc) User() time.Duration { return p.user }
+
+// Sys returns accumulated system-mode CPU time.
+func (p *Proc) Sys() time.Duration { return p.sys }
+
+// enqueue appends p to the run queue if it is not already there.
+func (h *Host) enqueue(p *Proc) {
+	if p.inRunq || p.state == stateDead {
+		return
+	}
+	p.state = stateRunnable
+	p.inRunq = true
+	h.runq = append(h.runq, p)
+}
+
+// maybeDispatch starts a context switch to the head of the run queue if
+// the CPU is idle. Safe to call from kernel event context.
+func (h *Host) maybeDispatch() {
+	if h.cur != nil || h.dispatching || len(h.runq) == 0 {
+		return
+	}
+	h.dispatching = true
+	next := h.runq[0]
+	h.runq = h.runq[1:]
+	next.inRunq = false
+	h.ctxSwitches++
+	delay := h.pr.CtxSwitch + h.pr.DispatchLatency
+	h.k.After(delay, "dispatch "+next.name, func() {
+		h.dispatching = false
+		if next.state == stateDead {
+			h.maybeDispatch()
+			return
+		}
+		h.cur = next
+		next.state = stateRunning
+		next.dispatchSeq++
+		next.quantumUsed = 0
+		next.sys += h.pr.CtxSwitch
+		h.busy += h.pr.CtxSwitch
+		tracef("%v %s: dispatch %s", h.k.Now(), h.name, next.name)
+		next.sp.Wake()
+	})
+}
+
+// acquireCPU blocks until this process is the one running on the CPU.
+func (p *Proc) acquireCPU() {
+	for p.h.cur != p {
+		p.sp.Park("cpu wait")
+	}
+}
+
+// releaseCPU gives up the CPU voluntarily (block or exit path).
+func (p *Proc) releaseCPU() {
+	if p.h.cur == p {
+		p.h.cur = nil
+		p.h.maybeDispatch()
+	}
+}
+
+// Use consumes d of CPU time charged to the given bucket, yielding the
+// CPU at quantum boundaries if other processes are runnable. It is the
+// only way simulated computation passes time.
+func (p *Proc) Use(d time.Duration, kind CPUKind) {
+	for d > 0 {
+		p.acquireCPU()
+		slice := d
+		if rem := p.h.pr.Quantum - p.quantumUsed; slice > rem {
+			slice = rem
+		}
+		if slice > 0 {
+			p.sp.Sleep(slice)
+			p.charge(slice, kind)
+			p.quantumUsed += slice
+			d -= slice
+		}
+		if p.quantumUsed >= p.h.pr.Quantum {
+			p.quantumExpire()
+		}
+	}
+}
+
+// UseUser charges d as user time.
+func (p *Proc) UseUser(d time.Duration) { p.Use(d, CPUUser) }
+
+// UseSys charges d as system time.
+func (p *Proc) UseSys(d time.Duration) { p.Use(d, CPUSys) }
+
+func (p *Proc) charge(d time.Duration, kind CPUKind) {
+	switch kind {
+	case CPUSys:
+		p.sys += d
+	default:
+		p.user += d
+	}
+	p.h.busy += d
+}
+
+// quantumExpire rotates the CPU to the next runnable process, if any.
+func (p *Proc) quantumExpire() {
+	h := p.h
+	if len(h.runq) == 0 {
+		p.quantumUsed = 0 // alone: keep running, fresh quantum
+		return
+	}
+	tracef("%v %s: quantum expire %s (runq %d)", h.k.Now(), h.name, p.name, len(h.runq))
+	h.cur = nil
+	h.enqueue(p)
+	h.maybeDispatch()
+	p.acquireCPU()
+}
+
+// Preempt forces the current process off the CPU at its next scheduling
+// point by exhausting its quantum. Used with Params.PreemptOnWake.
+func (h *Host) preemptCurrent() {
+	if h.cur != nil {
+		h.cur.quantumUsed = h.pr.Quantum
+	}
+}
+
+// SleepOn blocks the process until Host.Wakeup is called with the same
+// key, giving up the CPU. Spurious wakeups do not occur at this layer:
+// the process returns only after a matching Wakeup (callers that share a
+// key among conditions should still re-check them).
+func (p *Proc) SleepOn(key any) {
+	h := p.h
+	p.state = stateBlocked
+	p.sleepKey = key
+	h.sleepers[key] = append(h.sleepers[key], p)
+	p.releaseCPU()
+	for p.state == stateBlocked {
+		p.sp.Park(fmt.Sprintf("sleep on %v", key))
+	}
+	p.acquireCPU()
+}
+
+// SleepFor blocks the process for virtual duration d (a timed kernel
+// sleep, not CPU consumption).
+func (p *Proc) SleepFor(d time.Duration) {
+	h := p.h
+	p.state = stateBlocked
+	p.releaseCPU()
+	h.k.After(d, "timer "+p.name, func() {
+		if p.state == stateBlocked {
+			p.state = stateRunnable
+			h.enqueue(p)
+			h.maybeDispatch()
+			if h.pr.PreemptOnWake {
+				h.preemptCurrent()
+			}
+			h.armWakeBoost(p)
+			p.sp.Wake()
+		}
+	})
+	for p.state == stateBlocked {
+		p.sp.Park("timed sleep")
+	}
+	p.acquireCPU()
+}
+
+// Wakeup makes every process sleeping on key runnable. It may be called
+// from kernel event context (e.g. a NIC interrupt) or from another
+// process.
+func (h *Host) Wakeup(key any) {
+	ps := h.sleepers[key]
+	if len(ps) == 0 {
+		return
+	}
+	delete(h.sleepers, key)
+	for _, p := range ps {
+		if p.state != stateBlocked {
+			continue
+		}
+		p.state = stateRunnable
+		p.sleepKey = nil
+		h.enqueue(p)
+		p.sp.Wake()
+	}
+	h.maybeDispatch()
+	if h.pr.PreemptOnWake {
+		h.preemptCurrent()
+	}
+	for _, p := range ps {
+		h.armWakeBoost(p)
+	}
+}
+
+// armWakeBoost schedules the wakeup priority boost for a just-woken
+// process: if it is still waiting for the CPU after WakeBoostDelay, the
+// current runner's quantum is exhausted so it yields at its next
+// scheduling point (for a spinning client that is its next 50 µs check; a
+// server mid-copy yields at the end of the copy). A process that got the
+// CPU before the boost fires consumes no preemption — this matches the
+// SunOS behaviour where only still-starved woken processes outrank the
+// running one at priority recomputation.
+func (h *Host) armWakeBoost(woken *Proc) {
+	if h.pr.WakeBoostDelay <= 0 {
+		return
+	}
+	// Capture the dispatch epoch: if the woken process runs (is
+	// dispatched) before the boost fires, the boost is stale and must be
+	// discarded — otherwise it would preempt whoever runs later (often
+	// the server) in favour of a process that already had its turn.
+	epoch := woken.dispatchSeq
+	h.k.After(h.pr.WakeBoostDelay, "wake boost "+h.name, func() {
+		if woken.dispatchSeq == epoch && woken.state == stateRunnable && woken.inRunq && h.cur != nil {
+			tracef("%v %s: boost preempts %s for %s", h.k.Now(), h.name, h.cur.name, woken.name)
+			h.cur.quantumUsed = h.pr.Quantum
+		}
+	})
+}
+
+// Interrupt models a hardware interrupt: after the configured interrupt
+// cost, fn runs in kernel event context (typically a Wakeup).
+func (h *Host) Interrupt(fn func()) {
+	h.k.After(h.pr.InterruptCost, "interrupt "+h.name, fn)
+}
+
+// Sleeping reports how many processes are blocked on key.
+func (h *Host) Sleeping(key any) int { return len(h.sleepers[key]) }
+
+func (h *Host) String() string { return fmt.Sprintf("host %d (%s)", h.id, h.name) }

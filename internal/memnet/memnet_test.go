@@ -1,0 +1,226 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"mether/internal/sim"
+)
+
+func TestLocalAccessIsFree(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, DefaultParams(2))
+	r.Create(0, 0)
+	var dur time.Duration
+	r.Spawn(0, "p", func(p *Proc) {
+		start := p.Now()
+		p.Store32(0, 0, 7)
+		if got := p.Load32(0, 0); got != 7 {
+			t.Errorf("load = %d, want 7", got)
+		}
+		dur = p.Now() - start
+	})
+	k.Run()
+	if r.Stats().Fetches != 0 {
+		t.Errorf("local access caused %d fetches", r.Stats().Fetches)
+	}
+	// Only the write circulation occupies the ring; the CPU never stalls.
+	if dur != 0 {
+		t.Errorf("local access stalled the CPU for %v", dur)
+	}
+	k.Shutdown()
+}
+
+func TestRemoteLoadStallsMicroseconds(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, DefaultParams(2))
+	r.Create(0, 0)
+	var stall time.Duration
+	r.Spawn(1, "p", func(p *Proc) {
+		start := p.Now()
+		_ = p.Load32(0, 0)
+		stall = p.Now() - start
+	})
+	k.Run()
+	if stall <= 0 || stall > 50*time.Microsecond {
+		t.Errorf("remote fetch stall = %v, want microseconds (hardware)", stall)
+	}
+	if r.Stats().Fetches != 1 {
+		t.Errorf("fetches = %d, want 1", r.Stats().Fetches)
+	}
+	k.Shutdown()
+}
+
+func TestStoreMovesOwnership(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, DefaultParams(2))
+	r.Create(0, 0)
+	r.Spawn(1, "w", func(p *Proc) {
+		p.Store32(0, 0, 42)
+		// Now local: no further fetch.
+		before := r.Stats().Fetches
+		if got := p.Load32(0, 0); got != 42 {
+			t.Errorf("load = %d, want 42", got)
+		}
+		if r.Stats().Fetches != before {
+			t.Error("load after ownership move still fetched")
+		}
+	})
+	k.Run()
+	k.Shutdown()
+}
+
+func TestWaitUpdateWakesOnStore(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, DefaultParams(2))
+	r.Create(0, 0)
+	var woke time.Duration
+	var got uint32
+	r.Spawn(1, "waiter", func(p *Proc) {
+		p.WaitUpdate(0)
+		woke = p.Now()
+		got = p.Load32(0, 0)
+	})
+	r.Spawn(0, "writer", func(p *Proc) {
+		p.Compute(100 * time.Microsecond)
+		p.Store32(0, 0, 5)
+	})
+	k.Run()
+	if woke < 100*time.Microsecond {
+		t.Errorf("waiter woke at %v, before the store", woke)
+	}
+	if got != 5 {
+		t.Errorf("post-wake load = %d, want 5", got)
+	}
+	k.Shutdown()
+}
+
+func TestCounterShapesComplete(t *testing.T) {
+	for _, s := range []Shape{SharedChunk, DisjointSpin, DisjointBlocked} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			r, err := RunCounter(Config{Shape: s, Target: 256, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.DNF {
+				t.Fatalf("%v did not finish", s)
+			}
+			if r.Additions != 256 {
+				t.Errorf("additions = %d, want 256", r.Additions)
+			}
+		})
+	}
+}
+
+// TestMemNetBestShapeMatchesMether reproduces the cross-system claim: the
+// blocked one-way-link protocol is the best shape on the hardware DSM
+// too, on every axis the comparison supports.
+func TestMemNetBestShapeMatchesMether(t *testing.T) {
+	run := func(s Shape) Report {
+		r, err := RunCounter(Config{Shape: s, Target: 1024, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DNF {
+			t.Fatalf("%v did not finish", s)
+		}
+		return r
+	}
+	m1 := run(SharedChunk)
+	m3 := run(DisjointSpin)
+	m5 := run(DisjointBlocked)
+
+	if m5.LossWin > 3 {
+		t.Errorf("M5 loss/win = %f, want tiny", m5.LossWin)
+	}
+	if m5.LossWin >= m3.LossWin || m5.LossWin >= m1.LossWin {
+		t.Errorf("M5 loss/win %f should be least (M1 %f, M3 %f)", m5.LossWin, m1.LossWin, m3.LossWin)
+	}
+	if m5.RingBytes*2 >= m3.RingBytes {
+		t.Errorf("M5 ring bytes %d should be a fraction of the polling shape's %d", m5.RingBytes, m3.RingBytes)
+	}
+	// Wall is dominated by think time on microsecond hardware, so the
+	// blocked shape wins by not being slower while using a fraction of
+	// the ring and no polling fetches.
+	if m5.Wall > m1.Wall || m5.Wall > m3.Wall*115/100 {
+		t.Errorf("M5 wall %v should be at least comparable (M1 %v, M3 %v)", m5.Wall, m1.Wall, m3.Wall)
+	}
+	if m5.Fetches*2 >= m3.Fetches {
+		t.Errorf("M5 fetches %d should be a fraction of M3's %d", m5.Fetches, m3.Fetches)
+	}
+}
+
+func TestHardwareIsOrdersOfMagnitudeFaster(t *testing.T) {
+	// MemNet's whole point: a fault costs microseconds, not the tens of
+	// milliseconds of a software DSM over Ethernet.
+	r, err := RunCounter(Config{Shape: DisjointBlocked, Target: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAdd := r.Wall / time.Duration(r.Additions)
+	if perAdd > time.Millisecond {
+		t.Errorf("per-addition = %v, want well under 1ms on hardware", perAdd)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Report {
+		r, err := RunCounter(Config{Shape: DisjointSpin, Target: 128, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Wall != b.Wall || a.Fetches != b.Fetches || a.Losses != b.Losses {
+		t.Error("identical MemNet runs diverged")
+	}
+}
+
+func TestRingGeometry(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, DefaultParams(4))
+	if got := r.hops(0, 1); got != 1 {
+		t.Errorf("hops(0,1) = %d", got)
+	}
+	if got := r.hops(3, 0); got != 1 {
+		t.Errorf("hops(3,0) = %d (ring wrap)", got)
+	}
+	if got := r.hops(1, 1); got != 4 {
+		t.Errorf("hops(1,1) = %d (full circulation)", got)
+	}
+	k.Shutdown()
+}
+
+func TestMultiHostRingChunks(t *testing.T) {
+	// Four interfaces on one ring: chunk fetches cross multiple hops and
+	// ownership moves around the ring correctly.
+	k := sim.New(4)
+	r := New(k, DefaultParams(4))
+	r.Create(0, 0)
+	order := []int{1, 3, 2, 0}
+	var got []uint32
+	for idx, h := range order {
+		h := h
+		idx := idx
+		r.Spawn(h, "w", func(p *Proc) {
+			// Stagger starts so writes serialize deterministically.
+			p.Compute(time.Duration(idx+1) * time.Millisecond)
+			v := p.Load32(0, 0)
+			got = append(got, v)
+			p.Store32(0, 0, v+1)
+		})
+	}
+	k.Run()
+	k.Shutdown()
+	want := []uint32{0, 1, 2, 3}
+	if len(got) != 4 {
+		t.Fatalf("observed %d reads", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("read %d = %d, want %d (ownership chain broken)", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package proto defines the Mether wire protocol: the datagrams the
+// user-level servers exchange over the broadcast Ethernet. There are four
+// packet kinds — page requests, page data (which doubles as the PURGE
+// propagation broadcast), and the rest-fetch pair used when ownership
+// moved via a short transfer and a full view is needed later.
+//
+// All packets share one fixed 16-byte header followed by an optional
+// payload. Encoding is little-endian via encoding/binary.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mether/internal/vm"
+)
+
+// Type discriminates packet kinds.
+type Type uint8
+
+const (
+	// TypeRequest asks the page's owner to broadcast a copy. Flags select
+	// short/full and whether the requester wants the consistent copy
+	// (ownership).
+	TypeRequest Type = iota + 1
+	// TypeData carries page bytes. Every TypeData is broadcast, so it
+	// both answers requests and snoopily refreshes resident copies; a
+	// PURGE of a writable page manifests as a TypeData with no owner
+	// transfer.
+	TypeData
+	// TypeRestRequest asks the rest-owner for the superset remainder
+	// [ShortSize, PageSize) of a page.
+	TypeRestRequest
+	// TypeRestData carries the superset remainder.
+	TypeRestData
+)
+
+// String returns the packet kind mnemonic.
+func (t Type) String() string {
+	switch t {
+	case TypeRequest:
+		return "REQ"
+	case TypeData:
+		return "DATA"
+	case TypeRestRequest:
+		return "RESTREQ"
+	case TypeRestData:
+		return "RESTDATA"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// NoOwner marks a TypeData packet that transfers no ownership (a pure
+// refresh/purge broadcast).
+const NoOwner = -1
+
+const (
+	magic       = 0x4D // 'M'
+	version     = 1
+	flagShort   = 1 << 0
+	flagConsist = 1 << 1
+
+	// HeaderLen is the fixed header size in bytes.
+	HeaderLen = 16
+	// RestLen is the superset remainder payload size.
+	RestLen = vm.PageSize - vm.ShortSize
+)
+
+// ErrMalformed reports an undecodable packet.
+var ErrMalformed = errors.New("proto: malformed packet")
+
+// Packet is the decoded form of every Mether datagram. Fields not used
+// by a given Type are zero.
+type Packet struct {
+	Type       Type
+	Page       vm.PageID
+	Short      bool // request: short view; data: payload is the short region
+	Consistent bool // request: ownership wanted
+	From       int8 // sending host id
+	OwnerTo    int8 // data: host receiving ownership, or NoOwner
+	ReqID      uint16
+	Gen        uint32 // data: content generation
+	Data       []byte // TypeData / TypeRestData payload
+}
+
+// payloadLen returns the required payload length for the packet type, or
+// -1 when any length is invalid.
+func (p Packet) payloadLen() int {
+	switch p.Type {
+	case TypeRequest, TypeRestRequest:
+		return 0
+	case TypeData:
+		if p.Short {
+			return vm.ShortSize
+		}
+		return vm.PageSize
+	case TypeRestData:
+		return RestLen
+	default:
+		return -1
+	}
+}
+
+// Validate checks internal consistency without encoding.
+func (p Packet) Validate() error {
+	want := p.payloadLen()
+	if want < 0 {
+		return fmt.Errorf("%w: unknown type %d", ErrMalformed, p.Type)
+	}
+	if len(p.Data) != want {
+		return fmt.Errorf("%w: %s payload %d bytes, want %d", ErrMalformed, p.Type, len(p.Data), want)
+	}
+	return nil
+}
+
+// Encode serializes the packet. It panics only on programmer error
+// (invalid type/payload combinations return an error instead).
+func Encode(p Packet) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, HeaderLen+len(p.Data))
+	buf[0] = magic
+	buf[1] = version
+	buf[2] = byte(p.Type)
+	var flags byte
+	if p.Short {
+		flags |= flagShort
+	}
+	if p.Consistent {
+		flags |= flagConsist
+	}
+	buf[3] = flags
+	binary.LittleEndian.PutUint32(buf[4:], uint32(p.Page))
+	buf[8] = byte(p.From)
+	buf[9] = byte(p.OwnerTo)
+	binary.LittleEndian.PutUint16(buf[10:], p.ReqID)
+	binary.LittleEndian.PutUint32(buf[12:], p.Gen)
+	copy(buf[HeaderLen:], p.Data)
+	return buf, nil
+}
+
+// Decode parses a datagram, validating header fields and payload length.
+// The returned packet's Data aliases b's storage.
+func Decode(b []byte) (Packet, error) {
+	if len(b) < HeaderLen {
+		return Packet{}, fmt.Errorf("%w: %d bytes", ErrMalformed, len(b))
+	}
+	if b[0] != magic {
+		return Packet{}, fmt.Errorf("%w: bad magic %#x", ErrMalformed, b[0])
+	}
+	if b[1] != version {
+		return Packet{}, fmt.Errorf("%w: version %d", ErrMalformed, b[1])
+	}
+	p := Packet{
+		Type:       Type(b[2]),
+		Short:      b[3]&flagShort != 0,
+		Consistent: b[3]&flagConsist != 0,
+		Page:       vm.PageID(binary.LittleEndian.Uint32(b[4:])),
+		From:       int8(b[8]),
+		OwnerTo:    int8(b[9]),
+		ReqID:      binary.LittleEndian.Uint16(b[10:]),
+		Gen:        binary.LittleEndian.Uint32(b[12:]),
+	}
+	if len(b) > HeaderLen {
+		p.Data = b[HeaderLen:]
+	}
+	if err := p.Validate(); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,193 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mether/internal/vm"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		pkt  Packet
+	}{
+		{
+			name: "short request",
+			pkt:  Packet{Type: TypeRequest, Page: 7, Short: true, Consistent: true, From: 2, OwnerTo: NoOwner, ReqID: 99},
+		},
+		{
+			name: "full request",
+			pkt:  Packet{Type: TypeRequest, Page: 1 << 20, From: 1, OwnerTo: NoOwner},
+		},
+		{
+			name: "short data with ownership",
+			pkt:  Packet{Type: TypeData, Page: 3, Short: true, From: 0, OwnerTo: 1, Gen: 42, Data: make([]byte, vm.ShortSize)},
+		},
+		{
+			name: "full data broadcast",
+			pkt:  Packet{Type: TypeData, Page: 5, From: 1, OwnerTo: NoOwner, Gen: 7, Data: bytes.Repeat([]byte{0xAA}, vm.PageSize)},
+		},
+		{
+			name: "rest request",
+			pkt:  Packet{Type: TypeRestRequest, Page: 9, From: 3, OwnerTo: NoOwner, ReqID: 5},
+		},
+		{
+			name: "rest data",
+			pkt:  Packet{Type: TypeRestData, Page: 9, From: 0, OwnerTo: NoOwner, Gen: 1, Data: make([]byte, RestLen)},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc, err := Encode(tt.pkt)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.Type != tt.pkt.Type || got.Page != tt.pkt.Page ||
+				got.Short != tt.pkt.Short || got.Consistent != tt.pkt.Consistent ||
+				got.From != tt.pkt.From || got.OwnerTo != tt.pkt.OwnerTo ||
+				got.ReqID != tt.pkt.ReqID || got.Gen != tt.pkt.Gen {
+				t.Errorf("header mismatch:\n got %+v\nwant %+v", got, tt.pkt)
+			}
+			if !bytes.Equal(got.Data, tt.pkt.Data) {
+				t.Error("payload mismatch")
+			}
+		})
+	}
+}
+
+func TestEncodedSizes(t *testing.T) {
+	// The calibration in EXPERIMENTS.md depends on these wire sizes.
+	req, err := Encode(Packet{Type: TypeRequest, OwnerTo: NoOwner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req) != HeaderLen {
+		t.Errorf("request size %d, want %d", len(req), HeaderLen)
+	}
+	short, err := Encode(Packet{Type: TypeData, Short: true, OwnerTo: NoOwner, Data: make([]byte, vm.ShortSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != HeaderLen+vm.ShortSize {
+		t.Errorf("short data size %d, want %d", len(short), HeaderLen+vm.ShortSize)
+	}
+	full, err := Encode(Packet{Type: TypeData, OwnerTo: NoOwner, Data: make([]byte, vm.PageSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != HeaderLen+vm.PageSize {
+		t.Errorf("full data size %d, want %d", len(full), HeaderLen+vm.PageSize)
+	}
+}
+
+func TestEncodeRejectsBadPayloads(t *testing.T) {
+	cases := []Packet{
+		{Type: TypeData, Short: true, Data: make([]byte, 31)},
+		{Type: TypeData, Data: make([]byte, 100)},
+		{Type: TypeRequest, Data: []byte{1}},
+		{Type: TypeRestData, Data: make([]byte, 10)},
+		{Type: Type(99)},
+	}
+	for _, p := range cases {
+		if _, err := Encode(p); !errors.Is(err, ErrMalformed) {
+			t.Errorf("Encode(%v) err = %v, want ErrMalformed", p.Type, err)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, HeaderLen), // bad magic
+		append([]byte{magic, 9}, make([]byte, 14)...),           // bad version
+		append([]byte{magic, version, 99}, make([]byte, 13)...), // bad type
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: err = %v, want ErrMalformed", i, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedPayload(t *testing.T) {
+	enc, err := Encode(Packet{Type: TypeData, Short: true, OwnerTo: NoOwner, Data: make([]byte, vm.ShortSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(enc[:len(enc)-5]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated decode err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestNoOwnerRoundTrip(t *testing.T) {
+	enc, err := Encode(Packet{Type: TypeData, Short: true, OwnerTo: NoOwner, Data: make([]byte, vm.ShortSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OwnerTo != NoOwner {
+		t.Errorf("OwnerTo = %d, want NoOwner", got.OwnerTo)
+	}
+}
+
+// Property: any header field combination survives an encode/decode cycle.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	prop := func(page uint32, from, ownerTo int8, reqID uint16, gen uint32, short, consistent, isReq bool) bool {
+		p := Packet{
+			Page: vm.PageID(page), From: from, OwnerTo: ownerTo,
+			ReqID: reqID, Short: short, Consistent: consistent,
+		}
+		if isReq {
+			p.Type = TypeRequest
+		} else {
+			p.Type = TypeData
+			p.Gen = gen
+			if short {
+				p.Data = make([]byte, vm.ShortSize)
+			} else {
+				p.Data = make([]byte, vm.PageSize)
+			}
+		}
+		enc, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return got.Page == p.Page && got.From == p.From && got.OwnerTo == p.OwnerTo &&
+			got.ReqID == p.ReqID && got.Short == p.Short && got.Consistent == p.Consistent &&
+			got.Gen == p.Gen
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics on random input.
+func TestDecodeNeverPanics(t *testing.T) {
+	prop := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package protocols
+
+import (
+	"fmt"
+	"time"
+
+	"mether"
+	"mether/internal/stats"
+)
+
+// FanoutMode selects how N readers follow one writer's updates.
+type FanoutMode int
+
+const (
+	// FanoutDataDriven: readers sleep on the data-driven view; the
+	// writer's single purge broadcast refreshes and wakes all of them.
+	// This is the paper's scaling argument made concrete: like a
+	// hardware cache invalidate, one broadcast costs the writer the same
+	// no matter how many hosts hold copies.
+	FanoutDataDriven FanoutMode = iota + 1
+	// FanoutDemand: readers purge and demand-refetch to observe each
+	// update; every reader costs the writer's host a request/response,
+	// so writer-side work scales with the reader count.
+	FanoutDemand
+)
+
+func (m FanoutMode) String() string {
+	switch m {
+	case FanoutDataDriven:
+		return "data-driven"
+	case FanoutDemand:
+		return "demand-refetch"
+	default:
+		return fmt.Sprintf("FanoutMode(%d)", int(m))
+	}
+}
+
+// FanoutConfig parameterizes a one-writer / N-reader run.
+type FanoutConfig struct {
+	Mode    FanoutMode
+	Readers int
+	Updates int // writer updates (default 32)
+	Seed    int64
+	Cap     time.Duration
+}
+
+// FanoutReport carries the scaling measurements.
+type FanoutReport struct {
+	Mode        FanoutMode
+	Readers     int
+	Updates     int
+	Wall        time.Duration
+	WriterCPU   time.Duration // writer host client+server CPU
+	Packets     uint64
+	PacketsPerU float64 // packets per update
+	NetBytes    uint64
+	Missed      uint64 // reader observations that skipped an update
+}
+
+// RunFanout measures one writer publishing updates to N reader hosts.
+func RunFanout(cfg FanoutConfig) (FanoutReport, error) {
+	if cfg.Readers <= 0 {
+		return FanoutReport{}, fmt.Errorf("protocols: need at least one reader")
+	}
+	if cfg.Updates == 0 {
+		cfg.Updates = 32
+	}
+	if cfg.Cap == 0 {
+		cfg.Cap = 600 * time.Second
+	}
+	w := mether.NewWorld(mether.Config{
+		Hosts: cfg.Readers + 1,
+		Pages: 8,
+		Seed:  cfg.Seed,
+	})
+	defer w.Shutdown()
+
+	seg, err := w.CreateSegment("fanout", 1, 0)
+	if err != nil {
+		return FanoutReport{}, err
+	}
+	capRW := seg.CapRW()
+
+	readersDone := make([]bool, cfg.Readers)
+	var missed uint64
+
+	w.Spawn(0, "writer", func(env *mether.Env) {
+		m, err := env.Attach(capRW, mether.RW)
+		if err != nil {
+			return
+		}
+		a := m.Addr(0, 0).Short()
+		for i := 1; i <= cfg.Updates; i++ {
+			env.Compute(50 * time.Microsecond)
+			if err := m.Store32(a, uint32(i)); err != nil {
+				return
+			}
+			if err := m.Purge(a); err != nil {
+				return
+			}
+			// Paced updates: readers must keep up between publishes.
+			env.SleepFor(25 * time.Millisecond)
+		}
+	})
+
+	for r := 0; r < cfg.Readers; r++ {
+		r := r
+		w.Spawn(r+1, fmt.Sprintf("reader%d", r), func(env *mether.Env) {
+			m, err := env.Attach(capRW.ReadOnly(), mether.RO)
+			if err != nil {
+				return
+			}
+			a := m.Addr(0, 0).Short()
+			last := uint32(0)
+			for last < uint32(cfg.Updates) {
+				switch cfg.Mode {
+				case FanoutDataDriven:
+					v, err := m.Load32(a)
+					if err != nil {
+						return
+					}
+					if v > last {
+						if v > last+1 {
+							missed += uint64(v - last - 1)
+						}
+						last = v
+						continue
+					}
+					if err := m.Purge(a); err != nil {
+						return
+					}
+					if _, err := m.Load32(a.DataDriven()); err != nil {
+						return
+					}
+				case FanoutDemand:
+					if err := m.Purge(a); err != nil {
+						return
+					}
+					v, err := m.Load32(a)
+					if err != nil {
+						return
+					}
+					if v > last {
+						if v > last+1 {
+							missed += uint64(v - last - 1)
+						}
+						last = v
+					} else {
+						env.SleepFor(2 * time.Millisecond)
+					}
+				}
+			}
+			readersDone[r] = true
+		})
+	}
+
+	w.RunUntil(cfg.Cap)
+	for r, done := range readersDone {
+		if !done {
+			return FanoutReport{}, fmt.Errorf("protocols: reader %d did not finish", r)
+		}
+	}
+
+	rep := FanoutReport{Mode: cfg.Mode, Readers: cfg.Readers, Updates: cfg.Updates, Missed: missed}
+	rep.Wall = w.Now()
+	ns := w.NetStats()
+	rep.Packets = ns.Frames
+	rep.NetBytes = ns.WireBytes
+	rep.PacketsPerU = stats.Ratio(ns.Frames, uint64(cfg.Updates))
+	for _, p := range w.HostMachine(0).Procs() {
+		rep.WriterCPU += p.User() + p.Sys()
+	}
+	return rep, nil
+}

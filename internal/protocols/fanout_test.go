@@ -1,0 +1,63 @@
+package protocols
+
+import (
+	"testing"
+	"time"
+)
+
+func runFanout(t *testing.T, mode FanoutMode, readers int) FanoutReport {
+	t.Helper()
+	r, err := RunFanout(FanoutConfig{Mode: mode, Readers: readers, Updates: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("%v readers=%d: %v", mode, readers, err)
+	}
+	return r
+}
+
+// TestBroadcastFanoutScalesFlat reproduces the broadcast-scaling claim:
+// with data-driven readers, one purge serves every copy, so packets per
+// update stay ~constant as readers grow, while demand-refetch readers
+// cost the writer's host per-reader request traffic.
+func TestBroadcastFanoutScalesFlat(t *testing.T) {
+	d2 := runFanout(t, FanoutDataDriven, 2)
+	d8 := runFanout(t, FanoutDataDriven, 8)
+	q2 := runFanout(t, FanoutDemand, 2)
+	q8 := runFanout(t, FanoutDemand, 8)
+
+	// Data-driven: packet rate roughly flat in reader count (within 2x;
+	// startup fetches add a constant).
+	if d8.PacketsPerU > 2*d2.PacketsPerU+2 {
+		t.Errorf("data-driven packets/update grew with readers: %f -> %f", d2.PacketsPerU, d8.PacketsPerU)
+	}
+	// Demand: packet rate clearly grows with readers.
+	if q8.PacketsPerU < 2*q2.PacketsPerU {
+		t.Errorf("demand packets/update did not scale with readers: %f -> %f", q2.PacketsPerU, q8.PacketsPerU)
+	}
+	// At 8 readers the broadcast mode moves far fewer packets.
+	if d8.Packets*3 > q8.Packets {
+		t.Errorf("broadcast fan-out (%d pkts) should be well under demand (%d pkts)", d8.Packets, q8.Packets)
+	}
+	// Writer CPU: demand mode burns more of the writer host's CPU at 8
+	// readers than broadcast mode does (it answers every refetch).
+	if d8.WriterCPU >= q8.WriterCPU {
+		t.Errorf("writer CPU: broadcast %v should be under demand %v", d8.WriterCPU, q8.WriterCPU)
+	}
+}
+
+func TestFanoutReadersSeeEveryUpdate(t *testing.T) {
+	// With paced updates, data-driven readers should observe every value
+	// (missed counts are per-reader aggregated).
+	r := runFanout(t, FanoutDataDriven, 4)
+	if r.Missed != 0 {
+		t.Errorf("readers missed %d updates; broadcast refresh should deliver all", r.Missed)
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	if _, err := RunFanout(FanoutConfig{Mode: FanoutDataDriven, Readers: 0}); err == nil {
+		t.Error("zero readers accepted")
+	}
+	if _, err := RunFanout(FanoutConfig{Mode: FanoutDataDriven, Readers: 2, Updates: 4, Cap: time.Millisecond}); err == nil {
+		t.Error("tiny cap should report unfinished readers")
+	}
+}

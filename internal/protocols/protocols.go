@@ -1,0 +1,174 @@
+// Package protocols implements the paper's Section-4 protocol study: the
+// cooperative "count to 1024" synchronization microbenchmark run under
+// each of the user protocols the paper measures (Figures 4-9), plus the
+// two local baselines the text reports. Each run returns a Report with
+// the same rows as the paper's figures: wall-clock time, user time,
+// system time, network load, context switches per addition, space,
+// average fault latency and the losses/wins ratio.
+package protocols
+
+import (
+	"fmt"
+	"time"
+
+	"mether/internal/core"
+	"mether/internal/ethernet"
+	"mether/internal/host"
+)
+
+// Protocol selects which user protocol drives the counter.
+type Protocol int
+
+const (
+	// BaselineSingle is one process counting alone (paper: ~50 ms).
+	BaselineSingle Protocol = iota + 1
+	// BaselineLocalPair is two processes sharing a local page on one
+	// host (paper: 81 s wall, 37 s CPU — quantum thrashing).
+	BaselineLocalPair
+	// P1FullPage: both processes increment the first word of one shared
+	// writable full page; every fault moves 8 KiB (Figure 4).
+	P1FullPage
+	// P2ShortPage: the same through the short view; faults move 32 bytes
+	// (Figure 5).
+	P2ShortPage
+	// P3DisjointRO: disjoint pages, write capability stationary, readers
+	// spin on a read-only copy waiting for snoopy refresh — which their
+	// own spinning starves. The degenerate protocol of Figure 6.
+	P3DisjointRO
+	// P3Hysteresis: P3 with a purge only every HysteresisN losses
+	// (Figure 7).
+	P3Hysteresis
+	// P4DataDriven: one page; writers demand-fetch the consistent short
+	// view, waiters sample the data-driven view — which is resident
+	// whenever the consistent copy is local, so the process spins
+	// (Figure 8).
+	P4DataDriven
+	// P5Final: disjoint pages; each process writes its own stationary
+	// page and blocks data-driven on the peer's. One packet per
+	// increment (Figure 9).
+	P5Final
+)
+
+// String returns the protocol mnemonic used in reports.
+func (p Protocol) String() string {
+	switch p {
+	case BaselineSingle:
+		return "baseline-single"
+	case BaselineLocalPair:
+		return "baseline-local-pair"
+	case P1FullPage:
+		return "P1-full-page"
+	case P2ShortPage:
+		return "P2-short-page"
+	case P3DisjointRO:
+		return "P3-disjoint-ro"
+	case P3Hysteresis:
+		return "P3-hysteresis"
+	case P4DataDriven:
+		return "P4-data-driven"
+	case P5Final:
+		return "P5-final"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config parameterizes one counter run.
+type Config struct {
+	Protocol Protocol
+	// Target is the value counted to (paper: 1024).
+	Target uint32
+	// HysteresisN is the purge period for P3Hysteresis (losses between
+	// purges; 1 makes it equivalent to P3DisjointRO).
+	HysteresisN int
+	// SleepHysteresis, when nonzero, replaces the purge-based hysteresis
+	// with a fixed delay after each loss — the paper's first (rejected)
+	// fix ("it was difficult to get consistent timing delays").
+	SleepHysteresis time.Duration
+	// SpinBeforeBlock is how many losses P5 tolerates on the resident
+	// copy before purging and blocking data-driven (default 2).
+	SpinBeforeBlock int
+	// Cap bounds the simulated run; a run that does not finish reports
+	// DNF like the paper's "Never finished" row (default 600 s).
+	Cap time.Duration
+	// CheckCost and IncCost are the application's per-check and
+	// per-increment CPU costs (default 50 µs each, the paper's measured
+	// per-iteration cost).
+	CheckCost time.Duration
+	IncCost   time.Duration
+	Seed      int64
+
+	// HostParams, NetParams and Core override the default cost models
+	// when non-zero (calibration and ablation sweeps).
+	HostParams host.Params
+	NetParams  ethernet.Params
+	Core       core.Config
+
+	// TraceLimit, when positive, records the first N datagrams of the
+	// run with the protocol analyzer; the rendered trace is returned in
+	// Report.Trace.
+	TraceLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Target == 0 {
+		c.Target = 1024
+	}
+	if c.HysteresisN == 0 {
+		c.HysteresisN = 100
+	}
+	if c.SpinBeforeBlock == 0 {
+		c.SpinBeforeBlock = 2
+	}
+	if c.Cap == 0 {
+		c.Cap = 600 * time.Second
+	}
+	if c.CheckCost == 0 {
+		c.CheckCost = 50 * time.Microsecond
+	}
+	if c.IncCost == 0 {
+		c.IncCost = 50 * time.Microsecond
+	}
+	return c
+}
+
+// Report carries the measured figure rows for one run.
+type Report struct {
+	Protocol  Protocol
+	Target    uint32
+	Additions uint32 // counter value reached (== Target unless DNF)
+	DNF       bool   // did not finish within Cap (paper: "Never finished")
+
+	Wall time.Duration
+	// User and Sys are host 0's client-process times; SysServer is host
+	// 0's Mether server CPU, which the figures' "Sys Time" row includes
+	// (in real Mether most of that work ran in kernel context charged to
+	// the client).
+	User      time.Duration
+	Sys       time.Duration
+	SysServer time.Duration
+
+	NetBytes       uint64
+	NetBytesPerSec float64
+	Packets        uint64
+	CtxSwitches    uint64
+	CtxPerAdd      float64
+	SpacePages     int
+	SpaceBytes     int
+	AvgLatency     time.Duration
+	Losses         uint64
+	Wins           uint64
+	LossWin        float64
+
+	// Extras for analysis.
+	Retries       uint64
+	DataFallbacks uint64
+	RingDrops     uint64
+
+	// Trace holds the rendered packet trace when Config.TraceLimit > 0.
+	Trace string
+}
+
+// SysTotal returns the figure's "Sys Time" row: client sys plus the
+// server work done on the client's behalf.
+func (r Report) SysTotal() time.Duration { return r.Sys + r.SysServer }

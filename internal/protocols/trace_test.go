@@ -1,0 +1,88 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFinalProtocolWireSignature pins the final protocol's on-wire
+// behaviour: after the two startup demand fetches, every increment is
+// exactly one short DATA broadcast — "Only one packet was ever sent per
+// increment: the PURGE packet from the host with the writeable page."
+func TestFinalProtocolWireSignature(t *testing.T) {
+	r, err := Run(Config{Protocol: P5Final, Target: 8, Seed: 1, TraceLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DNF {
+		t.Fatal("did not finish")
+	}
+	lines := strings.Split(strings.TrimSpace(r.Trace), "\n")
+	var kinds []string
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "MALFORMED"):
+			t.Fatalf("malformed frame on the wire: %s", l)
+		case strings.Contains(l, "REQ"):
+			kinds = append(kinds, "REQ")
+		case strings.Contains(l, "RESTREQ"), strings.Contains(l, "RESTDATA"):
+			t.Fatalf("rest fetch in a short-only protocol: %s", l)
+		case strings.Contains(l, "DATA"):
+			kinds = append(kinds, "DATA")
+			if !strings.Contains(l, "short") {
+				t.Errorf("full-page packet in the final protocol: %s", l)
+			}
+		}
+	}
+
+	// Startup: each side demand-fetches the peer's page once (2 REQ + 2
+	// DATA in some interleaving), then 8 increments = 8 purge DATA
+	// broadcasts, minus the two increments whose values travelled with
+	// the startup replies.
+	reqs, datas := 0, 0
+	for _, k := range kinds {
+		if k == "REQ" {
+			reqs++
+		} else {
+			datas++
+		}
+	}
+	if reqs != 2 {
+		t.Errorf("requests on the wire = %d, want exactly the 2 startup fetches\n%s", reqs, r.Trace)
+	}
+	// One DATA per increment plus the two startup replies.
+	if datas != int(r.Additions)+2 {
+		t.Errorf("data broadcasts = %d, want %d (one per increment + 2 startup)\n%s",
+			datas, r.Additions+2, r.Trace)
+	}
+	// After startup, the wire alternates pure purge broadcasts.
+	tail := kinds[4:]
+	for i, k := range tail {
+		if k != "DATA" {
+			t.Errorf("steady-state packet %d is %s, want DATA\n%s", i, k, r.Trace)
+		}
+	}
+}
+
+// TestFullPageProtocolWireSignature pins protocol 1's pattern: each
+// addition is a request plus one full 8 KiB transfer.
+func TestFullPageProtocolWireSignature(t *testing.T) {
+	r, err := Run(Config{Protocol: P1FullPage, Target: 8, Seed: 1, TraceLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := strings.Count(r.Trace, " full")
+	if full < int(r.Additions)-2 {
+		t.Errorf("full-page transfers = %d, want ~%d (one per addition)\n%s", full, r.Additions, r.Trace)
+	}
+	// Attach-time map-in legitimately fetches the 32-byte subset
+	// (Figure-1 map-in rule); steady state must be all full-page.
+	lines := strings.Split(strings.TrimSpace(r.Trace), "\n")
+	if len(lines) > 6 {
+		for _, l := range lines[6:] {
+			if strings.Contains(l, "short") {
+				t.Errorf("short packet in full-page steady state: %s", l)
+			}
+		}
+	}
+}

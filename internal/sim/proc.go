@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+type procState uint8
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked  // blocked in Park, waiting for Wake
+	procWaiting // blocked in Sleep, timed resume scheduled
+	procDead
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the Kernel. All Proc methods except Wake must be
+// called from within the process's own goroutine (i.e. from the function
+// passed to Spawn). Wake must be called from kernel context — an event
+// callback or another running process.
+type Proc struct {
+	k      *Kernel
+	name   string
+	state  procState
+	resume chan struct{}
+	// wakePending coalesces Wake calls that arrive while the process is
+	// not parked; the next Park returns immediately.
+	wakePending bool
+	parkReason  string
+	aborting    bool
+}
+
+// Spawn creates a process and schedules it to start at the current
+// virtual time. fn runs on its own goroutine under the kernel's handoff
+// discipline and must use only this package's blocking primitives.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					panic(r)
+				}
+			}
+			p.state = procDead
+			k.handoff <- struct{}{}
+		}()
+		<-p.resume
+		if p.aborting {
+			panic(abortSignal{})
+		}
+		fn(p)
+	}()
+	k.After(0, "spawn "+name, func() { k.runProc(p) })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// park returns control to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.k.handoff <- struct{}{}
+	<-p.resume
+	if p.aborting {
+		panic(abortSignal{})
+	}
+	p.state = procRunning
+}
+
+// Sleep blocks the process for virtual duration d. Wake calls received
+// while sleeping are remembered and cause the next Park to return
+// immediately, but do not shorten the sleep.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.state = procWaiting
+	p.k.After(d, "wake "+p.name, func() { p.k.runProc(p) })
+	p.park()
+}
+
+// Park blocks until another component calls Wake. The reason string is
+// reported by Kernel.Idle for diagnostics. If a Wake arrived since the
+// last Park returned, Park consumes it and returns immediately.
+func (p *Proc) Park(reason string) {
+	if p.wakePending {
+		p.wakePending = false
+		return
+	}
+	p.parkReason = reason
+	p.state = procParked
+	p.park()
+}
+
+// Wake makes a parked process runnable at the current virtual time. If
+// the process is not parked the wake is remembered (coalesced) and the
+// next Park returns immediately. Waking a dead process is a no-op.
+// Wake must be called from kernel context, never from the woken
+// process itself.
+func (p *Proc) Wake() {
+	switch p.state {
+	case procDead:
+	case procParked:
+		p.state = procWaiting // resume already scheduled below
+		p.k.After(0, "unpark "+p.name, func() { p.k.runProc(p) })
+	default:
+		p.wakePending = true
+	}
+}
+
+// Dead reports whether the process function has returned.
+func (p *Proc) Dead() bool { return p.state == procDead }
+
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc %q", p.name)
+}

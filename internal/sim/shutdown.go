@@ -1,0 +1,26 @@
+package sim
+
+// abortSignal is panicked inside a process goroutine when the kernel is
+// shut down, unwinding the process function so the goroutine can exit.
+type abortSignal struct{}
+
+// Shutdown terminates all blocked processes so their goroutines exit.
+// It must be called after Run/RunUntil has returned, never from inside
+// an event or process. Worlds that create many kernels (tests, sweeps)
+// should call Shutdown to avoid accumulating parked goroutines.
+func (k *Kernel) Shutdown() {
+	k.stopped = true
+	for _, p := range k.procs {
+		if p.state == procDead || p.state == procRunning {
+			continue
+		}
+		p.aborting = true
+		// Resume the goroutine directly; its park() will observe
+		// aborting and panic with abortSignal, which the Spawn
+		// wrapper recovers.
+		k.running = p
+		p.resume <- struct{}{}
+		<-k.handoff
+		k.running = nil
+	}
+}

@@ -1,0 +1,188 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and an event queue ordered by
+// (time, insertion sequence). Simulated processes are goroutines that run
+// under a strict single-runner handoff discipline: at any instant at most
+// one process goroutine executes, and control passes back to the kernel
+// whenever the process blocks (Sleep, Park) or exits. Together with a
+// seeded random source this makes every simulation bit-reproducible.
+//
+// The package is intentionally free of real-time dependencies: virtual
+// time is a time.Duration measured from the start of the run, and nothing
+// ever consults the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel is a discrete-event simulation engine. Create one with New.
+// A Kernel must only be used from event callbacks and from process
+// goroutines it manages; it is not safe for concurrent use from outside
+// the simulation.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	procs   []*Proc
+	running *Proc
+	// handoff is signalled by a process goroutine when it parks or exits,
+	// returning control to the kernel loop.
+	handoff chan struct{}
+	stopped bool
+}
+
+// New returns a Kernel whose random source is seeded with seed.
+// Equal seeds produce identical runs.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:     rand.New(rand.NewSource(seed)),
+		handoff: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute virtual time t. If t is in the past
+// it runs at the current time, after already-queued events. The returned
+// Event may be cancelled.
+func (k *Kernel) At(t time.Duration, name string, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	ev := &Event{at: t, seq: k.seq, name: name, fn: fn}
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (k *Kernel) After(d time.Duration, name string, fn func()) *Event {
+	return k.At(k.now+d, name, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the virtual time at which it stopped.
+func (k *Kernel) Run() time.Duration {
+	return k.RunUntil(1<<63 - 1)
+}
+
+// RunUntil executes events with timestamps no later than deadline, then
+// advances the clock to min(deadline, time of last event) and returns it.
+// If the queue drains earlier, the clock is left at the last event time.
+func (k *Kernel) RunUntil(deadline time.Duration) time.Duration {
+	for !k.stopped && k.queue.Len() > 0 {
+		next := k.queue[0]
+		if next.at > deadline {
+			k.now = deadline
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		if next.cancelled {
+			continue
+		}
+		k.now = next.at
+		next.fn()
+	}
+	return k.now
+}
+
+// Idle reports the names of processes that are parked (blocked waiting for
+// an explicit wake). It is intended for tests and deadlock diagnostics.
+func (k *Kernel) Idle() []string {
+	var out []string
+	for _, p := range k.procs {
+		if p.state == procParked {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// PendingEvents returns the number of events waiting in the queue.
+func (k *Kernel) PendingEvents() int { return k.queue.Len() }
+
+// runProc transfers control to p until it parks or exits.
+func (k *Kernel) runProc(p *Proc) {
+	if p.state == procDead {
+		return
+	}
+	prev := k.running
+	k.running = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-k.handoff
+	k.running = prev
+}
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created by Kernel.At and Kernel.After.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	name      string
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event from running. Cancelling an event that has
+// already fired is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Name returns the diagnostic name given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+func (e *Event) String() string {
+	return fmt.Sprintf("event %q @%v", e.name, e.at)
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,136 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSequentialConverges(t *testing.T) {
+	p := NewProblem(500, 1)
+	_, r0 := p.SolveSequential(1)
+	_, r1 := p.SolveSequential(50)
+	if r1 >= r0 {
+		t.Errorf("residual did not decrease: %g -> %g", r0, r1)
+	}
+	if math.IsNaN(r1) || math.IsInf(r1, 0) {
+		t.Errorf("residual = %g", r1)
+	}
+}
+
+func TestPartitionCoversAllRows(t *testing.T) {
+	p := NewProblem(101, 1)
+	for parts := 1; parts <= 5; parts++ {
+		covered := 0
+		prevHi := 0
+		for r := 0; r < parts; r++ {
+			lo, hi := p.Partition(r, parts)
+			if lo != prevHi {
+				t.Errorf("parts=%d rank=%d: lo=%d, want %d", parts, r, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != p.N {
+			t.Errorf("parts=%d covered %d rows, want %d", parts, covered, p.N)
+		}
+	}
+}
+
+func TestSweepSliceMatchesFullSweep(t *testing.T) {
+	p := NewProblem(40, 2)
+	x := make([]float64, p.N)
+	for i := range x {
+		x[i] = float64(i%7) * 0.1
+	}
+	want := make([]float64, p.N)
+	p.SweepSlice(want, x, 0, p.N, 0, 0)
+
+	// Same sweep computed in 3 partitions with halos must agree exactly.
+	for _, parts := range []int{2, 3, 4} {
+		for r := 0; r < parts; r++ {
+			lo, hi := p.Partition(r, parts)
+			got := make([]float64, hi-lo)
+			var left, right float64
+			if lo > 0 {
+				left = x[lo-1]
+			}
+			if hi < p.N {
+				right = x[hi]
+			}
+			p.SweepSlice(got, x[lo:hi], lo, hi, left, right)
+			for i := range got {
+				if got[i] != want[lo+i] {
+					t.Fatalf("parts=%d rank=%d row %d: %g != %g", parts, r, lo+i, got[i], want[lo+i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	for _, hosts := range []int{2, 3, 4} {
+		hosts := hosts
+		t.Run(time.Duration(hosts).String(), func(t *testing.T) {
+			r, err := RunDistributed(Config{N: 2000, Hosts: hosts, Sweeps: 8, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.MaxDiff != 0 {
+				t.Errorf("distributed result differs from sequential by %g; the halo exchange must be exact", r.MaxDiff)
+			}
+			if r.Residual <= 0 || math.IsNaN(r.Residual) {
+				t.Errorf("residual = %g", r.Residual)
+			}
+		})
+	}
+}
+
+func TestMessagesScaleWithBoundaries(t *testing.T) {
+	r2, err := RunDistributed(Config{N: 2000, Hosts: 2, Sweeps: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunDistributed(Config{N: 2000, Hosts: 4, Sweeps: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Messages <= r2.Messages {
+		t.Errorf("4-host run should exchange more messages than 2-host: %d vs %d", r4.Messages, r2.Messages)
+	}
+}
+
+func TestSpeedupIsNearLinear(t *testing.T) {
+	// The paper: "the program shows linear speedup on up to four
+	// processors". Its solver was compute-dominated (seconds of work per
+	// exchange); with a comparably sized problem the speedup at 4 hosts
+	// must approach 4.
+	base, err := RunDistributed(Config{N: 200_000, Hosts: 1, Sweeps: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Speedup != 1 {
+		t.Errorf("1-host speedup = %f, want 1", base.Speedup)
+	}
+	prev := base.Wall
+	for _, hosts := range []int{2, 4} {
+		r, err := RunDistributed(Config{N: 200_000, Hosts: hosts, Sweeps: 5, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Wall >= prev {
+			t.Errorf("%d hosts (%v) not faster than previous (%v)", hosts, r.Wall, prev)
+		}
+		prev = r.Wall
+		want := 0.7 * float64(hosts)
+		if r.Speedup < want {
+			t.Errorf("%d-host speedup = %.2f, want >= %.2f (near-linear)", hosts, r.Speedup, want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := RunDistributed(Config{N: 100, Hosts: 4, Sweeps: 2, Seed: 1, Cap: time.Millisecond}); err == nil {
+		t.Error("expected cap violation error for tiny cap")
+	}
+}

@@ -1,0 +1,135 @@
+// Package stats provides the lightweight measurement primitives the
+// reproduction reports: latency histograms with log-spaced buckets and
+// simple rate helpers. All values are virtual-time durations from the
+// simulation; nothing here touches the wall clock.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// histBuckets is the number of log2 buckets; bucket i holds samples with
+// floor(log2(ns)) == i, so the range covers 1 ns to ~9.2 s and beyond.
+const histBuckets = 64
+
+// Histogram accumulates durations. The zero value is ready to use.
+type Histogram struct {
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [histBuckets]uint64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketOf(d)]++
+}
+
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d)) - 1
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the average sample, or zero with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample, or zero with no samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// the bucket boundaries; the estimate is exact to within a factor of two.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return time.Duration(1) << uint(i+1)
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h (bucket-wise; min/max/sum exact).
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", h.count, h.Mean(), h.min, h.max)
+}
+
+// Rate returns events per second of virtual time.
+func Rate(events uint64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(events) / wall.Seconds()
+}
+
+// BytesPerSec returns a byte rate over virtual time.
+func BytesPerSec(bytes uint64, wall time.Duration) float64 {
+	return Rate(bytes, wall)
+}
+
+// Ratio returns a/b, or +Inf-free 0 when b is zero and a is zero, and
+// a as float when b is zero (used for loss/win ratios where wins can be
+// zero in degenerate runs).
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return float64(a)
+	}
+	return float64(a) / float64(b)
+}

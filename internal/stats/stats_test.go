@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero histogram should report zeros")
+	}
+	samples := []time.Duration{time.Millisecond, 3 * time.Millisecond, 5 * time.Millisecond}
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Errorf("mean = %v, want 3ms", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Error("negative sample not clamped to zero")
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	// Median should be near 1ms (within the 2x bucket bound).
+	if q := h.Quantile(0.5); q > 4*time.Millisecond {
+		t.Errorf("p50 = %v, want <= 4ms", q)
+	}
+	if q := h.Quantile(1.0); q < time.Second {
+		t.Errorf("p100 = %v, want >= 1s", q)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", a.Count())
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Errorf("merged mean = %v, want 3ms", a.Mean())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 3 {
+		t.Error("merging empty histogram changed count")
+	}
+}
+
+func TestRateAndRatio(t *testing.T) {
+	if r := Rate(100, 2*time.Second); r != 50 {
+		t.Errorf("Rate = %f, want 50", r)
+	}
+	if r := Rate(1, 0); r != 0 {
+		t.Errorf("Rate with zero wall = %f, want 0", r)
+	}
+	if r := Ratio(10, 2); r != 5 {
+		t.Errorf("Ratio = %f, want 5", r)
+	}
+	if r := Ratio(7, 0); r != 7 {
+		t.Errorf("Ratio with zero denominator = %f, want 7", r)
+	}
+	if r := BytesPerSec(4096, 4*time.Second); r != 1024 {
+		t.Errorf("BytesPerSec = %f, want 1024", r)
+	}
+}
+
+// Property: mean always lies within [min, max] and count/sum are exact.
+func TestHistogramInvariantProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		var h Histogram
+		var sum time.Duration
+		for _, r := range raw {
+			d := time.Duration(r)
+			h.Observe(d)
+			sum += d
+		}
+		if h.Count() != uint64(len(raw)) {
+			return false
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		if h.Sum() != sum {
+			return false
+		}
+		return h.Mean() >= h.Min() && h.Mean() <= h.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		var h Histogram
+		for _, r := range raw {
+			h.Observe(time.Duration(r) * time.Microsecond)
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

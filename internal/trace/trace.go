@@ -1,0 +1,141 @@
+// Package trace provides a passive protocol analyzer for the simulated
+// Ethernet: a tap NIC that records and decodes every Mether datagram on
+// the segment with virtual timestamps. Because Mether broadcasts all
+// traffic (requests included), a passive station sees the complete
+// protocol exchange — the simulation's tcpdump.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mether/internal/ethernet"
+	"mether/internal/proto"
+	"mether/internal/sim"
+	"mether/internal/vm"
+)
+
+// Entry is one decoded datagram observation.
+type Entry struct {
+	At         time.Duration
+	From       int8
+	Type       proto.Type
+	Page       vm.PageID
+	Short      bool
+	Consistent bool
+	OwnerTo    int8
+	Gen        uint32
+	PayloadLen int
+	Malformed  bool // undecodable frame
+}
+
+// String renders one line of the trace.
+func (e Entry) String() string {
+	if e.Malformed {
+		return fmt.Sprintf("%12v  host%d  MALFORMED (%d bytes)", e.At, e.From, e.PayloadLen)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v  host%d  %-8s page %d", e.At, e.From, e.Type, e.Page)
+	if e.Short {
+		b.WriteString(" short")
+	} else {
+		b.WriteString(" full")
+	}
+	if e.Consistent {
+		b.WriteString(" +consistent")
+	}
+	if e.OwnerTo != proto.NoOwner {
+		fmt.Fprintf(&b, " owner->host%d", e.OwnerTo)
+	}
+	if e.Type == proto.TypeData || e.Type == proto.TypeRestData {
+		fmt.Fprintf(&b, " gen %d (%d bytes)", e.Gen, e.PayloadLen)
+	}
+	return b.String()
+}
+
+// Log accumulates tap observations.
+type Log struct {
+	entries []Entry
+	max     int
+}
+
+// Tap attaches a passive analyzer station to the bus. max bounds the
+// number of retained entries (0 means unlimited); recording continues
+// but old entries are never evicted — the bound simply stops appending,
+// keeping memory flat on long runs.
+func Tap(k *sim.Kernel, bus *ethernet.Bus, max int) *Log {
+	l := &Log{max: max}
+	var nic *ethernet.NIC
+	nic = bus.Attach("trace-tap", func() {
+		for {
+			f, ok := nic.Recv()
+			if !ok {
+				return
+			}
+			l.record(k.Now(), f)
+		}
+	})
+	return l
+}
+
+func (l *Log) record(at time.Duration, f ethernet.Frame) {
+	if l.max > 0 && len(l.entries) >= l.max {
+		return
+	}
+	e := Entry{At: at, PayloadLen: len(f.Payload)}
+	pkt, err := proto.Decode(f.Payload)
+	if err != nil {
+		e.Malformed = true
+		e.From = int8(f.Src)
+	} else {
+		e.From = pkt.From
+		e.Type = pkt.Type
+		e.Page = pkt.Page
+		e.Short = pkt.Short
+		e.Consistent = pkt.Consistent
+		e.OwnerTo = pkt.OwnerTo
+		e.Gen = pkt.Gen
+		e.PayloadLen = len(pkt.Data)
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Entries returns the recorded observations in wire order.
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Len returns the number of recorded observations.
+func (l *Log) Len() int { return len(l.entries) }
+
+// CountByType tallies observations per packet kind.
+func (l *Log) CountByType() map[proto.Type]int {
+	m := make(map[proto.Type]int)
+	for _, e := range l.entries {
+		if !e.Malformed {
+			m[e.Type]++
+		}
+	}
+	return m
+}
+
+// PageHistory returns the observations touching one page, in order —
+// the lifecycle of that page on the wire.
+func (l *Log) PageHistory(page vm.PageID) []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if !e.Malformed && e.Page == page {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole trace, one line per datagram.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package vm provides the memory substrate for the Mether simulation:
+// page frames with generation counters, page geometry constants, and
+// access validation. Page state (presence, ownership, protections) lives
+// in the Mether driver (internal/core); this package only manages bytes.
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// PageSize is the full Mether page size, matching the Sun-4 8 KB page
+	// the paper uses.
+	PageSize = 8192
+	// ShortSize is the short-page size: the first 32 bytes of a page,
+	// transferred on short-view faults.
+	ShortSize = 32
+)
+
+// PageID identifies a page within the global Mether address space.
+type PageID uint32
+
+// ErrBadAccess reports an out-of-range or misaligned memory access.
+var ErrBadAccess = errors.New("vm: bad access")
+
+// CheckRange validates an access of size bytes at off within a page of
+// the given limit (PageSize or ShortSize for short views).
+func CheckRange(off, size, limit int) error {
+	if size <= 0 || off < 0 || off+size > limit {
+		return fmt.Errorf("%w: off=%d size=%d limit=%d", ErrBadAccess, off, size, limit)
+	}
+	return nil
+}
+
+// Frame is the backing store for one page on one host. The first
+// ShortSize bytes are the short page; the rest is the "superset"
+// remainder. Gen is a logical version that increases with every mutation
+// and rides along on the wire so receivers can discard stale refreshes.
+type Frame struct {
+	data [PageSize]byte
+	gen  uint64
+}
+
+// Gen returns the frame's current generation.
+func (f *Frame) Gen() uint64 { return f.gen }
+
+// SetGen sets the generation, used when installing received copies.
+func (f *Frame) SetGen(g uint64) { f.gen = g }
+
+// Load reads an unsigned little-endian integer of size 1, 2, 4 or 8
+// bytes at off.
+func (f *Frame) Load(off, size int) (uint64, error) {
+	if err := CheckRange(off, size, PageSize); err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint64(f.data[off]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(f.data[off:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(f.data[off:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(f.data[off:]), nil
+	default:
+		return 0, fmt.Errorf("%w: unsupported size %d", ErrBadAccess, size)
+	}
+}
+
+// Store writes an unsigned little-endian integer of size 1, 2, 4 or 8
+// bytes at off and bumps the generation.
+func (f *Frame) Store(off, size int, v uint64) error {
+	if err := CheckRange(off, size, PageSize); err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		f.data[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(f.data[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(f.data[off:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(f.data[off:], v)
+	default:
+		return fmt.Errorf("%w: unsupported size %d", ErrBadAccess, size)
+	}
+	f.gen++
+	return nil
+}
+
+// ReadBytes copies len(dst) bytes starting at off into dst.
+func (f *Frame) ReadBytes(off int, dst []byte) error {
+	if err := CheckRange(off, len(dst), PageSize); err != nil {
+		return err
+	}
+	copy(dst, f.data[off:])
+	return nil
+}
+
+// WriteBytes copies src into the frame at off and bumps the generation.
+func (f *Frame) WriteBytes(off int, src []byte) error {
+	if err := CheckRange(off, len(src), PageSize); err != nil {
+		return err
+	}
+	copy(f.data[off:], src)
+	f.gen++
+	return nil
+}
+
+// Snapshot returns a copy of the frame contents: the short region if
+// short is true, otherwise the whole page.
+func (f *Frame) Snapshot(short bool) []byte {
+	n := PageSize
+	if short {
+		n = ShortSize
+	}
+	out := make([]byte, n)
+	copy(out, f.data[:n])
+	return out
+}
+
+// SnapshotRest returns a copy of the superset remainder
+// [ShortSize, PageSize).
+func (f *Frame) SnapshotRest() []byte {
+	out := make([]byte, PageSize-ShortSize)
+	copy(out, f.data[ShortSize:])
+	return out
+}
+
+// Install overwrites the region covered by data (ShortSize or PageSize
+// bytes, from Snapshot) and adopts generation gen.
+func (f *Frame) Install(data []byte, gen uint64) error {
+	if len(data) != ShortSize && len(data) != PageSize {
+		return fmt.Errorf("%w: install length %d", ErrBadAccess, len(data))
+	}
+	copy(f.data[:len(data)], data)
+	f.gen = gen
+	return nil
+}
+
+// InstallRest overwrites the superset remainder with data (from
+// SnapshotRest) without touching the short region or generation.
+func (f *Frame) InstallRest(data []byte) error {
+	if len(data) != PageSize-ShortSize {
+		return fmt.Errorf("%w: rest length %d", ErrBadAccess, len(data))
+	}
+	copy(f.data[ShortSize:], data)
+	return nil
+}

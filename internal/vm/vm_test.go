@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		off  int
+		size int
+		val  uint64
+	}{
+		{"byte", 0, 1, 0xAB},
+		{"word16", 2, 2, 0xBEEF},
+		{"word32", 4, 4, 0xDEADBEEF},
+		{"word64", 8, 8, 0x0123456789ABCDEF},
+		{"word32 high", PageSize - 4, 4, 42},
+		{"short boundary", ShortSize - 4, 4, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var f Frame
+			if err := f.Store(tt.off, tt.size, tt.val); err != nil {
+				t.Fatalf("Store: %v", err)
+			}
+			got, err := f.Load(tt.off, tt.size)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if got != tt.val {
+				t.Errorf("got %#x, want %#x", got, tt.val)
+			}
+		})
+	}
+}
+
+func TestStoreBumpsGeneration(t *testing.T) {
+	var f Frame
+	g0 := f.Gen()
+	if err := f.Store(0, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Gen() != g0+1 {
+		t.Errorf("gen = %d, want %d", f.Gen(), g0+1)
+	}
+	if err := f.WriteBytes(100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Gen() != g0+2 {
+		t.Errorf("gen = %d after WriteBytes, want %d", f.Gen(), g0+2)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	var f Frame
+	cases := []struct {
+		off, size int
+	}{
+		{-1, 4}, {PageSize, 1}, {PageSize - 3, 4}, {0, 0}, {0, -4},
+	}
+	for _, c := range cases {
+		if _, err := f.Load(c.off, c.size); !errors.Is(err, ErrBadAccess) && c.size != 3 {
+			t.Errorf("Load(%d,%d) err = %v, want ErrBadAccess", c.off, c.size, err)
+		}
+		if err := f.Store(c.off, c.size, 0); !errors.Is(err, ErrBadAccess) {
+			t.Errorf("Store(%d,%d) err = %v, want ErrBadAccess", c.off, c.size, err)
+		}
+	}
+}
+
+func TestUnsupportedSize(t *testing.T) {
+	var f Frame
+	if _, err := f.Load(0, 3); !errors.Is(err, ErrBadAccess) {
+		t.Errorf("Load size 3: err = %v, want ErrBadAccess", err)
+	}
+	if err := f.Store(0, 5, 1); !errors.Is(err, ErrBadAccess) {
+		t.Errorf("Store size 5: err = %v, want ErrBadAccess", err)
+	}
+}
+
+func TestSnapshotInstallShort(t *testing.T) {
+	var src Frame
+	for i := 0; i < ShortSize; i++ {
+		src.data[i] = byte(i + 1)
+	}
+	src.data[ShortSize] = 0xFF // beyond short region
+	src.gen = 10
+
+	var dst Frame
+	dst.data[ShortSize] = 0x55
+	snap := src.Snapshot(true)
+	if len(snap) != ShortSize {
+		t.Fatalf("short snapshot length %d", len(snap))
+	}
+	if err := dst.Install(snap, src.Gen()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.data[:ShortSize], src.data[:ShortSize]) {
+		t.Error("short region not installed")
+	}
+	if dst.data[ShortSize] != 0x55 {
+		t.Error("install of short snapshot touched superset remainder")
+	}
+	if dst.Gen() != 10 {
+		t.Errorf("gen = %d, want 10", dst.Gen())
+	}
+}
+
+func TestSnapshotInstallFull(t *testing.T) {
+	var src Frame
+	src.data[0] = 1
+	src.data[PageSize-1] = 2
+	src.gen = 3
+	var dst Frame
+	if err := dst.Install(src.Snapshot(false), src.Gen()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.data[0] != 1 || dst.data[PageSize-1] != 2 {
+		t.Error("full install did not copy entire page")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	var f Frame
+	snap := f.Snapshot(true)
+	snap[0] = 0xEE
+	if f.data[0] != 0 {
+		t.Error("snapshot aliases frame storage")
+	}
+}
+
+func TestRestSnapshotInstall(t *testing.T) {
+	var src Frame
+	src.data[ShortSize] = 9
+	src.data[PageSize-1] = 8
+	src.data[0] = 7
+	var dst Frame
+	dst.data[0] = 1
+	if err := dst.InstallRest(src.SnapshotRest()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.data[ShortSize] != 9 || dst.data[PageSize-1] != 8 {
+		t.Error("rest not installed")
+	}
+	if dst.data[0] != 1 {
+		t.Error("InstallRest touched the short region")
+	}
+}
+
+func TestInstallRejectsBadLengths(t *testing.T) {
+	var f Frame
+	if err := f.Install(make([]byte, 100), 0); !errors.Is(err, ErrBadAccess) {
+		t.Errorf("Install(100 bytes) err = %v, want ErrBadAccess", err)
+	}
+	if err := f.InstallRest(make([]byte, 10)); !errors.Is(err, ErrBadAccess) {
+		t.Errorf("InstallRest(10 bytes) err = %v, want ErrBadAccess", err)
+	}
+}
+
+// Property: store-then-load round-trips for arbitrary aligned offsets and
+// values, and never affects neighbouring bytes.
+func TestLoadStoreProperty(t *testing.T) {
+	prop := func(rawOff uint16, val uint64, szSel uint8) bool {
+		sizes := []int{1, 2, 4, 8}
+		size := sizes[int(szSel)%len(sizes)]
+		off := int(rawOff) % (PageSize - 8)
+		var f Frame
+		if err := f.Store(off, size, val); err != nil {
+			return false
+		}
+		got, err := f.Load(off, size)
+		if err != nil {
+			return false
+		}
+		mask := uint64(1)<<(8*size) - 1
+		if size == 8 {
+			mask = ^uint64(0)
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: short install + rest install reassembles the original page.
+func TestSplitReassemblyProperty(t *testing.T) {
+	prop := func(seed []byte) bool {
+		var src Frame
+		for i, b := range seed {
+			src.data[(i*37)%PageSize] ^= b
+		}
+		var dst Frame
+		if err := dst.Install(src.Snapshot(true), 1); err != nil {
+			return false
+		}
+		if err := dst.InstallRest(src.SnapshotRest()); err != nil {
+			return false
+		}
+		return bytes.Equal(dst.data[:], src.data[:])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package workload generates message workloads for throughput
+// experiments over the Mether pipe library. The paper observes that
+// "some applications use shared memory to pass small blocks of data
+// between processes"; these generators model the common mixes — fixed
+// control messages, uniformly sized records, and the bimodal
+// control-plus-bulk pattern — so benches can measure how the short-page
+// fast path behaves across them.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mether"
+	"mether/pipe"
+)
+
+// SizeDist draws message sizes.
+type SizeDist interface {
+	// Next returns the next message size in bytes.
+	Next(rng *rand.Rand) int
+	// Name labels the distribution in reports.
+	Name() string
+}
+
+// Fixed always returns Size.
+type Fixed struct{ Size int }
+
+// Next implements SizeDist.
+func (f Fixed) Next(*rand.Rand) int { return f.Size }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%dB", f.Size) }
+
+// Uniform draws uniformly from [Min, Max].
+type Uniform struct{ Min, Max int }
+
+// Next implements SizeDist.
+func (u Uniform) Next(rng *rand.Rand) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Intn(u.Max-u.Min+1)
+}
+
+// Name implements SizeDist.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform-%d..%dB", u.Min, u.Max) }
+
+// Bimodal models the control+bulk mix: mostly small control messages
+// (short-page fast path) with occasional bulk transfers.
+type Bimodal struct {
+	Small, Large int
+	// LargeEvery is the period of bulk messages (every Nth message).
+	LargeEvery int
+}
+
+// Next implements SizeDist.
+func (b Bimodal) Next(rng *rand.Rand) int {
+	if b.LargeEvery > 0 && rng.Intn(b.LargeEvery) == 0 {
+		return b.Large
+	}
+	return b.Small
+}
+
+// Name implements SizeDist.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal-%dB/%dB-every%d", b.Small, b.Large, b.LargeEvery)
+}
+
+// Config describes one pipe-throughput run.
+type Config struct {
+	Dist     SizeDist
+	Messages int
+	Seed     int64
+	Cap      time.Duration
+}
+
+// Report carries the measured throughput.
+type Report struct {
+	Dist        string
+	Messages    int
+	Bytes       int
+	Wall        time.Duration
+	MsgsPerSec  float64
+	BytesPerSec float64
+	WireBytes   uint64
+	// ShortRatio is the fraction of messages that fit the short path.
+	ShortRatio float64
+}
+
+// Run streams Messages messages of Dist-drawn sizes through one pipe
+// and measures simulated throughput.
+func Run(cfg Config) (Report, error) {
+	if cfg.Dist == nil || cfg.Messages <= 0 {
+		return Report{}, fmt.Errorf("workload: need a distribution and messages")
+	}
+	if cfg.Cap == 0 {
+		cfg.Cap = 10 * time.Minute
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := make([]int, cfg.Messages)
+	total, short := 0, 0
+	for i := range sizes {
+		s := cfg.Dist.Next(rng)
+		if s > pipe.MaxPayload {
+			s = pipe.MaxPayload
+		}
+		sizes[i] = s
+		total += s
+		if s <= pipe.ShortPayload {
+			short++
+		}
+	}
+
+	w := mether.NewWorld(mether.Config{Hosts: 2, Pages: 8, Seed: cfg.Seed})
+	defer w.Shutdown()
+	cap, err := pipe.Create(w, "load", 0, 1)
+	if err != nil {
+		return Report{}, err
+	}
+
+	var txErr, rxErr error
+	received := 0
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, err := pipe.Open(env, cap, 0)
+		if err != nil {
+			txErr = err
+			return
+		}
+		buf := make([]byte, pipe.MaxPayload)
+		for i, s := range sizes {
+			if err := p.Send(uint32(i), buf[:s]); err != nil {
+				txErr = err
+				return
+			}
+		}
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, err := pipe.Open(env, cap, 1)
+		if err != nil {
+			rxErr = err
+			return
+		}
+		for range sizes {
+			m, err := p.Recv()
+			if err != nil {
+				rxErr = err
+				return
+			}
+			if len(m.Data) != sizes[received] {
+				rxErr = fmt.Errorf("workload: message %d has %d bytes, want %d", received, len(m.Data), sizes[received])
+				return
+			}
+			received++
+		}
+	})
+	end := w.RunUntil(cfg.Cap)
+	if txErr != nil {
+		return Report{}, txErr
+	}
+	if rxErr != nil {
+		return Report{}, rxErr
+	}
+	if received != cfg.Messages {
+		return Report{}, fmt.Errorf("workload: received %d/%d within cap", received, cfg.Messages)
+	}
+
+	r := Report{
+		Dist:       cfg.Dist.Name(),
+		Messages:   cfg.Messages,
+		Bytes:      total,
+		Wall:       end,
+		WireBytes:  w.NetStats().WireBytes,
+		ShortRatio: float64(short) / float64(cfg.Messages),
+	}
+	if end > 0 {
+		r.MsgsPerSec = float64(cfg.Messages) / end.Seconds()
+		r.BytesPerSec = float64(total) / end.Seconds()
+	}
+	return r, nil
+}

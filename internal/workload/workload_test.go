@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mether/pipe"
+)
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if s := (Fixed{Size: 24}).Next(rng); s != 24 {
+		t.Errorf("Fixed.Next = %d", s)
+	}
+	u := Uniform{Min: 10, Max: 20}
+	for i := 0; i < 100; i++ {
+		if s := u.Next(rng); s < 10 || s > 20 {
+			t.Fatalf("Uniform.Next = %d outside [10,20]", s)
+		}
+	}
+	b := Bimodal{Small: 8, Large: 4000, LargeEvery: 4}
+	small, large := 0, 0
+	for i := 0; i < 1000; i++ {
+		switch b.Next(rng) {
+		case 8:
+			small++
+		case 4000:
+			large++
+		default:
+			t.Fatal("Bimodal returned an unexpected size")
+		}
+	}
+	if large == 0 || small < large {
+		t.Errorf("Bimodal mix off: %d small, %d large", small, large)
+	}
+	for _, d := range []SizeDist{Fixed{1}, Uniform{1, 2}, b} {
+		if d.Name() == "" {
+			t.Error("empty distribution name")
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{Min: 5, Max: 5}
+	if s := u.Next(rng); s != 5 {
+		t.Errorf("degenerate uniform = %d", s)
+	}
+}
+
+func TestRunDeliversAllSizes(t *testing.T) {
+	r, err := Run(Config{Dist: Bimodal{Small: 8, Large: 2000, LargeEvery: 3}, Messages: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages != 12 || r.Bytes == 0 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.MsgsPerSec <= 0 {
+		t.Error("throughput not computed")
+	}
+	if r.ShortRatio <= 0 || r.ShortRatio >= 1 {
+		t.Errorf("bimodal short ratio = %f, want strictly between 0 and 1", r.ShortRatio)
+	}
+}
+
+func TestShortPathIsFaster(t *testing.T) {
+	smallR, err := Run(Config{Dist: Fixed{Size: 8}, Messages: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigR, err := Run(Config{Dist: Fixed{Size: 7000}, Messages: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallR.MsgsPerSec <= bigR.MsgsPerSec {
+		t.Errorf("small messages (%.1f msg/s) should beat full-page messages (%.1f msg/s)",
+			smallR.MsgsPerSec, bigR.MsgsPerSec)
+	}
+	if smallR.ShortRatio != 1 || bigR.ShortRatio != 0 {
+		t.Errorf("short ratios = %f / %f", smallR.ShortRatio, bigR.ShortRatio)
+	}
+	if smallR.WireBytes >= bigR.WireBytes {
+		t.Errorf("wire bytes: small %d should be far under big %d", smallR.WireBytes, bigR.WireBytes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(Config{Dist: Fixed{8}, Messages: 0}); err == nil {
+		t.Error("zero messages accepted")
+	}
+}
+
+// Property: any distribution's draws clamp into the pipe's payload range
+// after Run's clamping, and runs deliver every message intact.
+func TestOversizeClampProperty(t *testing.T) {
+	prop := func(sz uint16) bool {
+		rng := rand.New(rand.NewSource(3))
+		d := Fixed{Size: int(sz)}
+		s := d.Next(rng)
+		if s > pipe.MaxPayload {
+			s = pipe.MaxPayload
+		}
+		return s <= pipe.MaxPayload
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package pipe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Intel iPSC-style message passing, the paper's porting target: "At the
+// heart of his program are send and receive functions modelled after
+// Intel's csend and crecv. To move the program to a new machine requires
+// writing a new version of csend and crecv." This file is that version
+// for Mether: typed, blocking send/receive over a Pipe, with crecv able
+// to demand a specific message type.
+//
+// The emulation is deliberately thin — the paper's point is that a
+// Cray/iPSC program ports to Mether by swapping only these two calls.
+
+// ErrWrongType reports a crecv whose next message had a different type
+// and type filtering was strict.
+var ErrWrongType = errors.New("pipe: unexpected message type")
+
+// AnyType matches any message type in CRecv.
+const AnyType = ^uint32(0)
+
+// CSend transmits one typed message, blocking until the peer has
+// consumed the previous one (csend semantics: synchronous send).
+func CSend(p *Pipe, msgType uint32, data []byte) error {
+	if msgType == AnyType {
+		return fmt.Errorf("pipe: message type %#x is reserved", msgType)
+	}
+	return p.Send(msgType, data)
+}
+
+// CRecv receives the next message, blocking until one arrives. If
+// msgType is AnyType any message matches; otherwise the received type
+// must equal msgType, and a mismatch is an error (iPSC programs treat an
+// unexpected type as a protocol bug, and the pipe is FIFO so out-of-
+// order delivery cannot happen).
+func CRecv(p *Pipe, msgType uint32) ([]byte, uint32, error) {
+	m, err := p.Recv()
+	if err != nil {
+		return nil, 0, err
+	}
+	if msgType != AnyType && m.Tag != msgType {
+		return nil, m.Tag, fmt.Errorf("%w: got %d, want %d", ErrWrongType, m.Tag, msgType)
+	}
+	return m.Data, m.Tag, nil
+}

@@ -1,0 +1,92 @@
+package pipe
+
+import (
+	"errors"
+	"testing"
+
+	"mether"
+)
+
+func TestCSendCRecvTyped(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "csend", 0, 1)
+	var got []byte
+	var gotType uint32
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, err := Open(env, cap, 0)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := CSend(p, 7, []byte("typed")); err != nil {
+			t.Errorf("csend: %v", err)
+		}
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, err := Open(env, cap, 1)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		data, typ, err := CRecv(p, 7)
+		if err != nil {
+			t.Errorf("crecv: %v", err)
+			return
+		}
+		got, gotType = data, typ
+	})
+	w.Run()
+	if string(got) != "typed" || gotType != 7 {
+		t.Errorf("crecv = %q type %d, want typed/7", got, gotType)
+	}
+}
+
+func TestCRecvAnyType(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "any", 0, 1)
+	var typ uint32
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		_ = CSend(p, 99, []byte("x"))
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		_, typ, _ = CRecv(p, AnyType)
+	})
+	w.Run()
+	if typ != 99 {
+		t.Errorf("type = %d, want 99", typ)
+	}
+}
+
+func TestCRecvTypeMismatch(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "mismatch", 0, 1)
+	var err error
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		_ = CSend(p, 1, nil)
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		_, _, err = CRecv(p, 2)
+	})
+	w.Run()
+	if !errors.Is(err, ErrWrongType) {
+		t.Errorf("err = %v, want ErrWrongType", err)
+	}
+}
+
+func TestCSendReservedType(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "reserved", 0, 1)
+	var err error
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		err = CSend(p, AnyType, nil)
+	})
+	w.Run()
+	if err == nil {
+		t.Error("reserved type accepted")
+	}
+}

@@ -1,0 +1,442 @@
+package pipe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mether"
+)
+
+// fastWorld builds a 2..n host world with quick constants.
+func fastWorld(t *testing.T, hosts, pages int) *mether.World {
+	t.Helper()
+	cfg := mether.Config{Hosts: hosts, Pages: pages, Seed: 5}
+	w := mether.NewWorld(cfg)
+	t.Cleanup(w.Shutdown)
+	return w
+}
+
+func TestPingPong(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, err := Create(w, "pp", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	var errA, errB error
+	w.Spawn(0, "a", func(env *mether.Env) {
+		p, err := Open(env, cap, 0)
+		if err != nil {
+			errA = err
+			return
+		}
+		if err := p.Send(1, []byte("ping")); err != nil {
+			errA = err
+			return
+		}
+		msg, err := p.Recv()
+		if err != nil {
+			errA = err
+			return
+		}
+		got = append(got, string(msg.Data))
+	})
+	w.Spawn(1, "b", func(env *mether.Env) {
+		p, err := Open(env, cap, 1)
+		if err != nil {
+			errB = err
+			return
+		}
+		msg, err := p.Recv()
+		if err != nil {
+			errB = err
+			return
+		}
+		got = append(got, string(msg.Data))
+		if err := p.Send(2, []byte("pong")); err != nil {
+			errB = err
+		}
+	})
+	w.Run()
+
+	if errA != nil || errB != nil {
+		t.Fatalf("errors: %v / %v", errA, errB)
+	}
+	if len(got) != 2 || got[0] != "ping" || got[1] != "pong" {
+		t.Errorf("messages = %v, want [ping pong]", got)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagsArePreserved(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "tags", 0, 1)
+	var tags []uint32
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, err := Open(env, cap, 0)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := uint32(1); i <= 3; i++ {
+			if err := p.Send(i*100, []byte{byte(i)}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, err := Open(env, cap, 1)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			m, err := p.Recv()
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			tags = append(tags, m.Tag)
+		}
+	})
+	w.Run()
+	want := []uint32{100, 200, 300}
+	if len(tags) != 3 || tags[0] != want[0] || tags[1] != want[1] || tags[2] != want[2] {
+		t.Errorf("tags = %v, want %v", tags, want)
+	}
+}
+
+func TestShortFastPathMovesFewBytes(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "short", 0, 1)
+	done := false
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		_ = p.Send(0, []byte("hi")) // 2 bytes: short path
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		m, err := p.Recv()
+		if err == nil && string(m.Data) == "hi" {
+			done = true
+		}
+	})
+	w.Run()
+	if !done {
+		t.Fatal("short message not delivered")
+	}
+	// No full-page (8 KiB) payload should ever have hit the wire.
+	if pb := w.NetStats().PayloadBytes; pb > 4096 {
+		t.Errorf("payload bytes = %d; short fast path should stay tiny", pb)
+	}
+}
+
+func TestLargeMessageUsesFullPage(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "big", 0, 1)
+	msg := bytes.Repeat([]byte{0xC3}, 4000)
+	var got []byte
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		if err := p.Send(9, msg); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		m, err := p.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		got = m.Data
+	})
+	w.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("large message corrupted: got %d bytes", len(got))
+	}
+	if pb := w.NetStats().PayloadBytes; pb < uint64(len(msg)) {
+		t.Errorf("payload bytes = %d, expected at least the message size", pb)
+	}
+}
+
+func TestMaxPayloadBoundary(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "max", 0, 1)
+	var sendErr error
+	var got int
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		if err := p.Send(0, make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("oversize send err = %v, want ErrTooLarge", err)
+		}
+		sendErr = p.Send(0, make([]byte, MaxPayload))
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		m, err := p.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		got = len(m.Data)
+	})
+	w.Run()
+	if sendErr != nil {
+		t.Fatalf("max-size send: %v", sendErr)
+	}
+	if got != MaxPayload {
+		t.Errorf("received %d bytes, want %d", got, MaxPayload)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "empty", 0, 1)
+	delivered := false
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		if err := p.Send(42, nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		m, err := p.Recv()
+		if err == nil && len(m.Data) == 0 && m.Tag == 42 {
+			delivered = true
+		}
+	})
+	w.Run()
+	if !delivered {
+		t.Error("empty message with tag not delivered")
+	}
+}
+
+func TestBidirectionalConcurrentTraffic(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "bidi", 0, 1)
+	const n = 5
+	var fromA, fromB []byte
+	w.Spawn(0, "a", func(env *mether.Env) {
+		p, _ := Open(env, cap, 0)
+		for i := 0; i < n; i++ {
+			if err := p.Send(0, []byte{byte(i)}); err != nil {
+				t.Errorf("a send: %v", err)
+				return
+			}
+			m, err := p.Recv()
+			if err != nil {
+				t.Errorf("a recv: %v", err)
+				return
+			}
+			fromB = append(fromB, m.Data[0])
+		}
+	})
+	w.Spawn(1, "b", func(env *mether.Env) {
+		p, _ := Open(env, cap, 1)
+		for i := 0; i < n; i++ {
+			m, err := p.Recv()
+			if err != nil {
+				t.Errorf("b recv: %v", err)
+				return
+			}
+			fromA = append(fromA, m.Data[0])
+			if err := p.Send(0, []byte{byte(100 + i)}); err != nil {
+				t.Errorf("b send: %v", err)
+				return
+			}
+		}
+	})
+	w.Run()
+	for i := 0; i < n; i++ {
+		if i >= len(fromA) || fromA[i] != byte(i) {
+			t.Fatalf("a->b stream corrupt: %v", fromA)
+		}
+		if i >= len(fromB) || fromB[i] != byte(100+i) {
+			t.Fatalf("b->a stream corrupt: %v", fromB)
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "v", 0, 1)
+	w.Spawn(0, "p", func(env *mether.Env) {
+		if _, err := Open(env, cap, 2); err == nil {
+			t.Error("side 2 accepted")
+		}
+		bad := mether.Capability{Segment: "pipe:v", Mode: mether.RW}
+		if _, err := Open(env, bad, 0); err == nil {
+			t.Error("forged capability accepted")
+		}
+	})
+	w.Run()
+}
+
+// TestFigure3LinkStructure verifies the paper's communication layout:
+// after Open, each endpoint owns exactly its side's page, and the
+// generation counters live in the short region.
+func TestFigure3LinkStructure(t *testing.T) {
+	w := fastWorld(t, 2, 8)
+	cap, _ := Create(w, "fig3", 0, 1)
+	seg, err := w.LookupSegment("pipe:fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Pages() != 2 {
+		t.Fatalf("pipe segment has %d pages, want 2", seg.Pages())
+	}
+	opened := 0
+	for side := 0; side < 2; side++ {
+		side := side
+		w.Spawn(side, "e", func(env *mether.Env) {
+			if _, err := Open(env, cap, side); err == nil {
+				opened++
+			}
+		})
+	}
+	w.Run()
+	if opened != 2 {
+		t.Fatal("endpoints failed to open")
+	}
+	// Page 0's consistent copy starts on host 0, page 1's on host 1.
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if offWriteGen != 0 || offReadGen >= 32 || offInline >= 32 {
+		t.Error("generation header must live inside the short page")
+	}
+}
+
+// Property: a stream of random messages arrives intact and in order,
+// whichever payload sizes (short/full path mix) are drawn.
+func TestStreamIntegrityProperty(t *testing.T) {
+	prop := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 8 {
+			sizes = sizes[:8]
+		}
+		msgs := make([][]byte, len(sizes))
+		for i, s := range sizes {
+			n := int(s) % 200 // mix of short and inline sizes
+			msgs[i] = bytes.Repeat([]byte{byte(i + 1)}, n)
+		}
+		w := mether.NewWorld(mether.Config{Hosts: 2, Pages: 8, Seed: seed})
+		defer w.Shutdown()
+		cap, err := Create(w, "prop", 0, 1)
+		if err != nil {
+			return false
+		}
+		ok := true
+		w.Spawn(0, "tx", func(env *mether.Env) {
+			p, err := Open(env, cap, 0)
+			if err != nil {
+				ok = false
+				return
+			}
+			for i, m := range msgs {
+				if err := p.Send(uint32(i), m); err != nil {
+					ok = false
+					return
+				}
+			}
+		})
+		w.Spawn(1, "rx", func(env *mether.Env) {
+			p, err := Open(env, cap, 1)
+			if err != nil {
+				ok = false
+				return
+			}
+			for i, want := range msgs {
+				m, err := p.Recv()
+				if err != nil || m.Tag != uint32(i) || !bytes.Equal(m.Data, want) {
+					ok = false
+					return
+				}
+			}
+		})
+		w.RunUntil(10 * time.Minute)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyPipesShareHostsIndependently(t *testing.T) {
+	// Three pipes between the same two hosts carry independent streams;
+	// traffic on one must not corrupt or reorder another.
+	w := fastWorld(t, 2, 16)
+	caps := make([]mether.Capability, 3)
+	for i := range caps {
+		c, err := Create(w, fmt.Sprintf("multi-%d", i), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps[i] = c
+	}
+	const msgs = 4
+	received := make([][]uint32, 3)
+	w.Spawn(0, "tx", func(env *mether.Env) {
+		ps := make([]*Pipe, 3)
+		for i, c := range caps {
+			p, err := Open(env, c, 0)
+			if err != nil {
+				t.Errorf("open %d: %v", i, err)
+				return
+			}
+			ps[i] = p
+		}
+		// Interleave sends round-robin across the pipes.
+		for m := 0; m < msgs; m++ {
+			for i, p := range ps {
+				if err := p.Send(uint32(100*i+m), []byte{byte(i), byte(m)}); err != nil {
+					t.Errorf("send pipe %d msg %d: %v", i, m, err)
+					return
+				}
+			}
+		}
+	})
+	w.Spawn(1, "rx", func(env *mether.Env) {
+		ps := make([]*Pipe, 3)
+		for i, c := range caps {
+			p, err := Open(env, c, 1)
+			if err != nil {
+				t.Errorf("open %d: %v", i, err)
+				return
+			}
+			ps[i] = p
+		}
+		for m := 0; m < msgs; m++ {
+			for i, p := range ps {
+				got, err := p.Recv()
+				if err != nil {
+					t.Errorf("recv pipe %d msg %d: %v", i, m, err)
+					return
+				}
+				received[i] = append(received[i], got.Tag)
+			}
+		}
+	})
+	w.RunUntil(10 * time.Minute)
+	for i := 0; i < 3; i++ {
+		if len(received[i]) != msgs {
+			t.Fatalf("pipe %d delivered %d/%d", i, len(received[i]), msgs)
+		}
+		for m, tag := range received[i] {
+			if tag != uint32(100*i+m) {
+				t.Errorf("pipe %d msg %d tag = %d, want %d", i, m, tag, 100*i+m)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package registry implements the named-segment directory of the Mether
+// library (paper §5: "The library provides named segments with
+// capabilities") — and it is dogfooded: the directory itself lives in a
+// Mether page, coordinated with the same primitives the paper's study
+// arrives at.
+//
+//   - Writers lock the directory page, append an entry, unlock and PURGE
+//     — the writer-side discipline of the sample user protocol.
+//   - The entry count lives in the first word, so "anything new?" rides
+//     the 32-byte short page.
+//   - Lookup of a name that is not yet published can block on the
+//     data-driven view until a publisher's purge transits the network,
+//     instead of polling.
+//
+// Capabilities stored in the directory are bearer tokens: publishing one
+// grants the segment's rights to every process that can attach the
+// directory.
+package registry
+
+import (
+	"errors"
+	"fmt"
+
+	"mether"
+	"mether/internal/vm"
+)
+
+// Directory page layout.
+const (
+	offCount   = 0  // uint32 entry count (short region: cheap checks)
+	offEntries = 32 // entry records start past the short region
+	entrySize  = 128
+	keySize    = 32
+	capOffset  = keySize // capability blob within an entry
+
+	// MaxEntries is the directory capacity of one page.
+	MaxEntries = (vm.PageSize - offEntries) / entrySize
+)
+
+// Errors.
+var (
+	// ErrNotFound reports a lookup miss.
+	ErrNotFound = errors.New("registry: name not found")
+	// ErrFull reports a directory page out of entry slots.
+	ErrFull = errors.New("registry: directory full")
+	// ErrBadName reports an unusable registry key.
+	ErrBadName = errors.New("registry: bad name")
+	// ErrExists reports a duplicate publish.
+	ErrExists = errors.New("registry: name already published")
+)
+
+// Create allocates the directory segment (one page, homed on host) and
+// returns the capability processes use to Open it.
+func Create(w *mether.World, name string, host int) (mether.Capability, error) {
+	seg, err := w.CreateSegment("registry:"+name, 1, host)
+	if err != nil {
+		return mether.Capability{}, err
+	}
+	return seg.CapRW(), nil
+}
+
+// Handle is a process's attachment to a directory.
+type Handle struct {
+	env *mether.Env
+	rw  *mether.Mapping // nil for read-only handles
+	ro  *mether.Mapping
+}
+
+// Open attaches a directory. A Handle opened with an RW capability can
+// publish; one opened with a read-only capability can only look up.
+func Open(env *mether.Env, cap mether.Capability) (*Handle, error) {
+	h := &Handle{env: env}
+	ro, err := env.Attach(cap.ReadOnly(), mether.RO)
+	if err != nil {
+		return nil, fmt.Errorf("registry: attach ro: %w", err)
+	}
+	h.ro = ro
+	if cap.Mode == mether.RW {
+		rw, err := env.Attach(cap, mether.RW)
+		if err != nil {
+			return nil, fmt.Errorf("registry: attach rw: %w", err)
+		}
+		h.rw = rw
+	}
+	return h, nil
+}
+
+// Publish adds name -> cap to the directory and propagates the update.
+func (h *Handle) Publish(name string, cap mether.Capability) error {
+	if h.rw == nil {
+		return fmt.Errorf("registry: read-only handle cannot publish")
+	}
+	if name == "" || len(name) >= keySize {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	blob, err := cap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if len(blob) > entrySize-capOffset {
+		return fmt.Errorf("%w: capability too large", ErrBadName)
+	}
+
+	// The writer locks the page, fills in the data, bumps the count and
+	// issues a purge (the paper's writer discipline; the count bump is
+	// the WriteGeneration analogue). A first lock on a remote host fails
+	// with the remainder marked wanted (Figure-1 rule); touching the
+	// full view demand-fetches it and the retry succeeds.
+	lockA := h.rw.Addr(0, 0)
+	if err := h.lockRetry(lockA); err != nil {
+		return fmt.Errorf("registry: lock: %w", err)
+	}
+	defer func() { _ = h.rw.Unlock(lockA) }()
+
+	count, err := h.rw.Load32(h.rw.Addr(0, offCount))
+	if err != nil {
+		return err
+	}
+	if int(count) >= MaxEntries {
+		return ErrFull
+	}
+	// Reject duplicates.
+	if _, idx, err := h.scan(h.rw, int(count), name); err == nil && idx >= 0 {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+
+	base := offEntries + int(count)*entrySize
+	var key [keySize]byte
+	copy(key[:], name)
+	if err := h.rw.Write(h.rw.Addr(0, base), key[:]); err != nil {
+		return err
+	}
+	if err := h.rw.Write(h.rw.Addr(0, base+capOffset), blob); err != nil {
+		return err
+	}
+	if err := h.rw.Store32(h.rw.Addr(0, offCount), count+1); err != nil {
+		return err
+	}
+	// Propagate the whole page: entries live beyond the short region.
+	return h.rw.Purge(h.rw.Addr(0, 0))
+}
+
+// lockRetry takes the directory lock, demand-fetching absent pieces
+// that a failed attempt marked wanted (the Figure-1 lock discipline).
+func (h *Handle) lockRetry(a mether.Addr) error {
+	const attempts = 64
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = h.rw.Lock(a); err == nil {
+			return nil
+		}
+		// Touch the full view: pulls the whole page (and ownership)
+		// so the next attempt finds every subset present.
+		if _, lerr := h.rw.Load32(h.rw.Addr(0, offEntries)); lerr != nil {
+			return lerr
+		}
+	}
+	return err
+}
+
+// Lookup finds a published capability, reading whatever directory copy
+// is resident (it may be stale; use Wait for publication ordering).
+func (h *Handle) Lookup(name string) (mether.Capability, error) {
+	return h.lookupVia(false, name)
+}
+
+// LookupFresh purges the local copy first, forcing a fetch of the
+// current directory before searching — the paper's active update.
+func (h *Handle) LookupFresh(name string) (mether.Capability, error) {
+	return h.lookupVia(true, name)
+}
+
+func (h *Handle) lookupVia(fresh bool, name string) (mether.Capability, error) {
+	m := h.ro
+	if fresh {
+		if err := m.Purge(m.Addr(0, 0)); err != nil {
+			return mether.Capability{}, err
+		}
+	}
+	count, err := m.Load32(m.Addr(0, offCount).Short())
+	if err != nil {
+		return mether.Capability{}, err
+	}
+	cap, idx, err := h.scan(m, int(count), name)
+	if err != nil {
+		return mether.Capability{}, err
+	}
+	if idx < 0 {
+		return mether.Capability{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return cap, nil
+}
+
+// Wait blocks until name is published, using the short page to watch the
+// entry count and the data-driven view to sleep between updates — the
+// final protocol's reader discipline instead of a polling loop.
+func (h *Handle) Wait(name string) (mether.Capability, error) {
+	m := h.ro
+	shortCount := m.Addr(0, offCount).Short()
+	for {
+		cap, err := h.LookupFresh(name)
+		if err == nil {
+			return cap, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return mether.Capability{}, err
+		}
+		// Nothing yet: purge the short view and sleep until the next
+		// publisher purge transits.
+		if err := m.Purge(shortCount); err != nil {
+			return mether.Capability{}, err
+		}
+		if _, err := m.Load32(shortCount.DataDriven()); err != nil {
+			return mether.Capability{}, err
+		}
+	}
+}
+
+// List returns all published names in publication order.
+func (h *Handle) List() ([]string, error) {
+	m := h.ro
+	count, err := m.Load32(m.Addr(0, offCount).Short())
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, count)
+	for i := 0; i < int(count) && i < MaxEntries; i++ {
+		key, err := h.readKey(m, i)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, key)
+	}
+	return names, nil
+}
+
+// scan searches the first count entries for name, returning its
+// capability and index (or -1).
+func (h *Handle) scan(m *mether.Mapping, count int, name string) (mether.Capability, int, error) {
+	for i := 0; i < count && i < MaxEntries; i++ {
+		key, err := h.readKey(m, i)
+		if err != nil {
+			return mether.Capability{}, -1, err
+		}
+		if key != name {
+			continue
+		}
+		blob := make([]byte, entrySize-capOffset)
+		if err := m.Read(m.Addr(0, offEntries+i*entrySize+capOffset), blob); err != nil {
+			return mether.Capability{}, -1, err
+		}
+		var cap mether.Capability
+		if err := cap.UnmarshalBinary(blob); err != nil {
+			return mether.Capability{}, -1, err
+		}
+		return cap, i, nil
+	}
+	return mether.Capability{}, -1, nil
+}
+
+func (h *Handle) readKey(m *mether.Mapping, i int) (string, error) {
+	var key [keySize]byte
+	if err := m.Read(m.Addr(0, offEntries+i*entrySize), key[:]); err != nil {
+		return "", err
+	}
+	n := 0
+	for n < keySize && key[n] != 0 {
+		n++
+	}
+	return string(key[:n]), nil
+}

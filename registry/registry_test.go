@@ -1,0 +1,302 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mether"
+)
+
+func newWorld(t *testing.T, hosts int) *mether.World {
+	t.Helper()
+	w := mether.NewWorld(mether.Config{Hosts: hosts, Pages: 16, Seed: 3})
+	t.Cleanup(w.Shutdown)
+	return w
+}
+
+func TestPublishLookupAcrossHosts(t *testing.T) {
+	w := newWorld(t, 2)
+	dir, err := Create(w, "main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.CreateSegment("data", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataCap := data.CapRW()
+
+	var got mether.Capability
+	var lookupErr error
+	w.Spawn(0, "publisher", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := h.Publish("data", dataCap); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+	})
+	w.Run()
+	w.Spawn(1, "consumer", func(env *mether.Env) {
+		h, err := Open(env, dir.ReadOnly())
+		if err != nil {
+			t.Errorf("open ro: %v", err)
+			return
+		}
+		got, lookupErr = h.LookupFresh("data")
+		if lookupErr != nil {
+			return
+		}
+		// The fetched capability must actually grant access.
+		m, err := env.Attach(got, mether.RW)
+		if err != nil {
+			t.Errorf("attach via registry capability: %v", err)
+			return
+		}
+		if err := m.Store32(m.Addr(0, 0), 11); err != nil {
+			t.Errorf("store via registry capability: %v", err)
+		}
+	})
+	w.Run()
+	if lookupErr != nil {
+		t.Fatalf("lookup: %v", lookupErr)
+	}
+	if got.Segment != "data" {
+		t.Errorf("capability segment = %q, want data", got.Segment)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaitBlocksUntilPublish(t *testing.T) {
+	w := newWorld(t, 2)
+	dir, _ := Create(w, "main", 0)
+	late, _ := w.CreateSegment("late", 1, 0)
+	lateCap := late.CapRO()
+
+	var gotAt time.Duration
+	var got mether.Capability
+	w.Spawn(1, "waiter", func(env *mether.Env) {
+		h, err := Open(env, dir.ReadOnly())
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		c, err := h.Wait("late")
+		if err != nil {
+			t.Errorf("wait: %v", err)
+			return
+		}
+		got, gotAt = c, env.Now()
+	})
+	w.Spawn(0, "publisher", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		env.SleepFor(300 * time.Millisecond) // publish late
+		if err := h.Publish("late", lateCap); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+	})
+	w.Run()
+	if gotAt < 300*time.Millisecond {
+		t.Errorf("wait returned at %v, before the publish", gotAt)
+	}
+	if got.Segment != "late" {
+		t.Errorf("waited capability = %q", got.Segment)
+	}
+}
+
+func TestListAndOrder(t *testing.T) {
+	w := newWorld(t, 1)
+	dir, _ := Create(w, "main", 0)
+	segA, _ := w.CreateSegment("a", 1, 0)
+	segB, _ := w.CreateSegment("b", 1, 0)
+	var names []string
+	w.Spawn(0, "p", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		_ = h.Publish("first", segA.CapRO())
+		_ = h.Publish("second", segB.CapRO())
+		names, err = h.List()
+		if err != nil {
+			t.Errorf("list: %v", err)
+		}
+	})
+	w.Run()
+	if len(names) != 2 || names[0] != "first" || names[1] != "second" {
+		t.Errorf("List = %v, want [first second]", names)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	w := newWorld(t, 1)
+	dir, _ := Create(w, "main", 0)
+	seg, _ := w.CreateSegment("s", 1, 0)
+	w.Spawn(0, "p", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := h.Publish("", seg.CapRO()); !errors.Is(err, ErrBadName) {
+			t.Errorf("empty name err = %v, want ErrBadName", err)
+		}
+		if err := h.Publish(strings.Repeat("x", 40), seg.CapRO()); !errors.Is(err, ErrBadName) {
+			t.Errorf("long name err = %v, want ErrBadName", err)
+		}
+		if err := h.Publish("dup", seg.CapRO()); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+		if err := h.Publish("dup", seg.CapRO()); !errors.Is(err, ErrExists) {
+			t.Errorf("duplicate err = %v, want ErrExists", err)
+		}
+		if _, err := h.Lookup("missing"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing lookup err = %v, want ErrNotFound", err)
+		}
+		// Read-only handles cannot publish.
+		hro, err := Open(env, dir.ReadOnly())
+		if err != nil {
+			t.Errorf("open ro: %v", err)
+			return
+		}
+		if err := hro.Publish("nope", seg.CapRO()); err == nil {
+			t.Error("read-only handle published")
+		}
+	})
+	w.Run()
+}
+
+func TestDirectoryCapacity(t *testing.T) {
+	w := mether.NewWorld(mether.Config{Hosts: 1, Pages: 80, Seed: 3})
+	t.Cleanup(w.Shutdown)
+	dir, _ := Create(w, "main", 0)
+	seg, _ := w.CreateSegment("s", 1, 0)
+	cap := seg.CapRO()
+	var fullErr error
+	var published int
+	w.Spawn(0, "p", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; ; i++ {
+			name := "entry-" + itoa(i)
+			if err := h.Publish(name, cap); err != nil {
+				fullErr = err
+				return
+			}
+			published++
+		}
+	})
+	w.Run()
+	if !errors.Is(fullErr, ErrFull) {
+		t.Errorf("err = %v, want ErrFull", fullErr)
+	}
+	if published != MaxEntries {
+		t.Errorf("published %d entries, want %d", published, MaxEntries)
+	}
+}
+
+func TestCapabilityRoundTripBinary(t *testing.T) {
+	w := newWorld(t, 1)
+	seg, _ := w.CreateSegment("rt", 1, 0)
+	orig := seg.CapRW()
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mether.Capability
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip: %+v != %+v", back, orig)
+	}
+	if err := back.UnmarshalBinary([]byte{5}); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestConcurrentPublishersFromDifferentHosts(t *testing.T) {
+	// Two hosts publish into the same directory page concurrently. The
+	// page's consistent copy ping-pongs; Figure-1 locks pin it during
+	// each append and the owner defers steals until unlock, so both
+	// entries land and the count is exact.
+	w := mether.NewWorld(mether.Config{Hosts: 3, Pages: 16, Seed: 9})
+	t.Cleanup(w.Shutdown)
+	dir, _ := Create(w, "main", 2) // directory homed on a third host
+	segA, _ := w.CreateSegment("from-a", 1, 0)
+	segB, _ := w.CreateSegment("from-b", 1, 1)
+
+	var errA, errB error
+	w.Spawn(0, "pubA", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			errA = err
+			return
+		}
+		errA = h.Publish("from-a", segA.CapRO())
+	})
+	w.Spawn(1, "pubB", func(env *mether.Env) {
+		h, err := Open(env, dir)
+		if err != nil {
+			errB = err
+			return
+		}
+		errB = h.Publish("from-b", segB.CapRO())
+	})
+	w.RunUntil(5 * time.Minute)
+	if errA != nil || errB != nil {
+		t.Fatalf("publish errors: %v / %v", errA, errB)
+	}
+
+	var names []string
+	w.Spawn(2, "list", func(env *mether.Env) {
+		h, err := Open(env, dir.ReadOnly())
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		names, _ = h.List()
+	})
+	w.RunUntil(6 * time.Minute)
+	if len(names) != 2 {
+		t.Fatalf("directory lists %v, want both entries", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if !seen["from-a"] || !seen["from-b"] {
+		t.Errorf("missing entries: %v", names)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package mether is a reproduction of the Mether distributed shared
+// memory (Minnich & Farber, "Reducing Host Load, Network Load, and
+// Latency in a Distributed Shared Memory", ICDCS 1990) as a deterministic
+// simulation library.
+//
+// A World is a simulated cluster: SunOS-like workstations with
+// round-robin schedulers, a shared 10 Mb/s broadcast Ethernet, and a
+// Mether kernel driver plus user-level server on every host. Application
+// code runs as simulated processes spawned with World.Spawn and accesses
+// Mether segments through view-encoded addresses exactly as the paper
+// describes: address bits select full vs short (32-byte) pages and
+// demand- vs data-driven fault semantics, while the choice of mapping
+// (read-only inconsistent vs writable consistent) is made at Attach time.
+//
+// A minimal session:
+//
+//	w := mether.NewWorld(mether.Config{Hosts: 2, Pages: 4})
+//	seg, _ := w.CreateSegment("counter", 1, 0)
+//	cap := seg.CapRW()
+//	w.Spawn(0, "writer", func(env *mether.Env) {
+//	    m, _ := env.Attach(cap, mether.RW)
+//	    m.Store32(m.Addr(0, 0), 42)
+//	    m.Purge(m.Addr(0, 0).Short())
+//	})
+//	w.Spawn(1, "reader", func(env *mether.Env) {
+//	    m, _ := env.Attach(cap.ReadOnly(), mether.RO)
+//	    v, _ := m.Load32(m.Addr(0, 0).Short().DataDriven())
+//	    _ = v
+//	})
+//	w.Run()
+package mether
+
+import (
+	"fmt"
+	"time"
+
+	"mether/internal/core"
+	"mether/internal/ethernet"
+	"mether/internal/host"
+	"mether/internal/sim"
+	"mether/internal/trace"
+	"mether/internal/vm"
+)
+
+// Re-exported view types so callers need only this package.
+type (
+	// Addr is a Mether virtual address; view bits are set with Short,
+	// Full, DataDriven and Demand.
+	Addr = core.Addr
+	// Mode selects the read-only (inconsistent) or writable (consistent)
+	// mapping.
+	Mode = core.Mode
+)
+
+// Mapping modes.
+const (
+	RO = core.RO
+	RW = core.RW
+)
+
+// Page geometry re-exports.
+const (
+	PageSize  = vm.PageSize
+	ShortSize = vm.ShortSize
+)
+
+// Config describes a simulated cluster. Zero-valued fields get defaults.
+type Config struct {
+	// Hosts is the number of workstations (default 2).
+	Hosts int
+	// Pages bounds the Mether page space (default 64).
+	Pages int
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// HostParams is the workstation cost model (default host.DefaultParams).
+	HostParams host.Params
+	// NetParams is the Ethernet model (default ethernet.DefaultParams).
+	NetParams ethernet.Params
+	// Core is the driver/server cost model (default core.DefaultConfig).
+	Core core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts == 0 {
+		c.Hosts = 2
+	}
+	if c.Pages == 0 {
+		c.Pages = 64
+	}
+	if c.HostParams.Quantum == 0 {
+		c.HostParams = host.DefaultParams()
+	}
+	if c.NetParams.BandwidthBps == 0 {
+		c.NetParams = ethernet.DefaultParams()
+	}
+	if c.Core.NumPages == 0 {
+		c.Core = core.DefaultConfig(c.Pages)
+	}
+	c.Core.NumPages = c.Pages
+	return c
+}
+
+// World is one simulated Mether cluster.
+type World struct {
+	cfg      Config
+	k        *sim.Kernel
+	bus      *ethernet.Bus
+	hosts    []*host.Host
+	drivers  []*core.Driver
+	segs     map[string]*Segment
+	nextPage vm.PageID
+	nextTok  uint64
+}
+
+// NewWorld builds a cluster and starts the Mether server on every host.
+func NewWorld(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	w := &World{
+		cfg:  cfg,
+		k:    sim.New(cfg.Seed),
+		segs: make(map[string]*Segment),
+	}
+	w.bus = ethernet.NewBus(w.k, cfg.NetParams)
+	for i := 0; i < cfg.Hosts; i++ {
+		h := host.New(w.k, i, fmt.Sprintf("host%d", i), cfg.HostParams)
+		var d *core.Driver
+		nic := w.bus.Attach(h.Name(), func() { d.FrameArrived() })
+		d = core.New(h, nic, cfg.Core)
+		d.StartServer()
+		w.hosts = append(w.hosts, h)
+		w.drivers = append(w.drivers, d)
+	}
+	return w
+}
+
+// NumHosts returns the cluster size.
+func (w *World) NumHosts() int { return len(w.hosts) }
+
+// Now returns the current virtual time.
+func (w *World) Now() time.Duration { return w.k.Now() }
+
+// Run executes the simulation until it quiesces (all processes blocked
+// or finished) and returns the final virtual time.
+func (w *World) Run() time.Duration { return w.k.Run() }
+
+// RunUntil executes the simulation up to the given virtual deadline.
+func (w *World) RunUntil(d time.Duration) time.Duration { return w.k.RunUntil(d) }
+
+// Shutdown releases all simulation goroutines. Call it when done with a
+// World, especially in tests and sweeps that build many worlds.
+func (w *World) Shutdown() { w.k.Shutdown() }
+
+// Spawn starts a simulated application process on a host. fn must express
+// computation via Env.Compute and blocking via the Env sleep helpers so
+// that virtual time advances.
+func (w *World) Spawn(hostIdx int, name string, fn func(env *Env)) {
+	h := w.hosts[hostIdx]
+	d := w.drivers[hostIdx]
+	h.Spawn(name, func(p *host.Proc) {
+		fn(&Env{w: w, host: hostIdx, p: p, d: d})
+	})
+}
+
+// Kernel exposes the simulation kernel (advanced use: custom events).
+func (w *World) Kernel() *sim.Kernel { return w.k }
+
+// Driver exposes a host's Mether driver for metrics and invariant checks
+// (advanced use; the type lives in an internal package).
+func (w *World) Driver(hostIdx int) *core.Driver { return w.drivers[hostIdx] }
+
+// HostMachine exposes a host's scheduler (advanced use).
+func (w *World) HostMachine(hostIdx int) *host.Host { return w.hosts[hostIdx] }
+
+// NetStats returns the Ethernet segment counters.
+func (w *World) NetStats() ethernet.Stats { return w.bus.Stats() }
+
+// ContextSwitches returns a host's dispatch count.
+func (w *World) ContextSwitches(hostIdx int) uint64 { return w.hosts[hostIdx].ContextSwitches() }
+
+// CheckInvariants verifies the cluster-wide single-consistent-copy
+// invariants; it returns nil when they hold.
+func (w *World) CheckInvariants() error { return core.CheckInvariants(w.drivers...) }
+
+// AttachTap adds a passive protocol analyzer to the cluster's Ethernet
+// and returns its log (the simulation's tcpdump). max bounds retained
+// entries; 0 keeps everything. Attach taps before running.
+func (w *World) AttachTap(max int) *trace.Log { return trace.Tap(w.k, w.bus, max) }
