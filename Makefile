@@ -1,0 +1,38 @@
+# Tier-1 verification and developer targets for the Mether reproduction.
+#
+#   make ci      - everything the tier-1 gate runs: format check, vet,
+#                  tests, race tests and a smoke sweep
+#   make test    - go build + go test ./...
+#   make race    - go test -race ./...
+#   make smoke   - a fast cross-section sweep through cmd/methersweep
+#   make sweep   - the full paper grid at scale 1024 (slow)
+#   make bench   - the figure benchmarks at reduced scale
+
+GO ?= go
+
+.PHONY: ci fmt-check vet test race smoke sweep bench
+
+ci: fmt-check vet test race smoke
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+smoke:
+	$(GO) run ./cmd/methersweep -grid smoke -format summary
+
+sweep:
+	$(GO) run ./cmd/methersweep -grid paper -target 1024 -format summary
+
+bench:
+	$(GO) test -run - -bench BenchmarkFigures -benchtime 1x .

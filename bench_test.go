@@ -29,6 +29,7 @@ import (
 	"mether/internal/protocols"
 	"mether/internal/sim"
 	"mether/internal/solver"
+	"mether/internal/sweep"
 	"mether/internal/vm"
 	"mether/internal/workload"
 	"mether/pipe"
@@ -73,58 +74,31 @@ func BenchmarkBaselineLocalPair(b *testing.B) {
 	runProtocolBench(b, protocols.Config{Protocol: protocols.BaselineLocalPair, Target: benchTarget, Seed: 1})
 }
 
-// BenchmarkFig4FullPage regenerates Figure 4 (increment on full page).
-func BenchmarkFig4FullPage(b *testing.B) {
-	runProtocolBench(b, protocols.Config{Protocol: protocols.P1FullPage, Target: benchTarget, Seed: 1})
-}
-
-// BenchmarkFig5ShortPage regenerates Figure 5 (spin on short page).
-func BenchmarkFig5ShortPage(b *testing.B) {
-	runProtocolBench(b, protocols.Config{Protocol: protocols.P2ShortPage, Target: benchTarget, Seed: 1})
-}
-
-// BenchmarkFig6DisjointRO regenerates Figure 6: the degenerate spin
-// protocol under era-realistic datagram loss; it does not finish (the
-// run is capped) and the loss/win ratio explodes.
-func BenchmarkFig6DisjointRO(b *testing.B) {
-	np := ethernet.DefaultParams()
-	np.LossRate = 0.002
-	runProtocolBench(b, protocols.Config{
-		Protocol: protocols.P3DisjointRO, Target: 64, Seed: 1,
-		NetParams: np, Cap: 20 * time.Second,
-	})
-}
-
-// BenchmarkFig7Hysteresis regenerates Figure 7 (purge every N losses).
-func BenchmarkFig7Hysteresis(b *testing.B) {
-	for _, n := range []int{10, 100, 1000} {
-		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			runProtocolBench(b, protocols.Config{
-				Protocol: protocols.P3Hysteresis, Target: benchTarget,
-				HysteresisN: n, Seed: 1,
-			})
+// BenchmarkFigures regenerates Figures 4-9 from the sweep engine's
+// figure definitions, so the benchmarks, cmd/metherbench and
+// cmd/methersweep all measure the exact same configurations. The
+// degenerate Figure-6 run is capped at bench scale (it never finishes).
+func BenchmarkFigures(b *testing.B) {
+	for _, sc := range sweep.FigureScenarios(sweep.Options{Target: benchTarget, Seed: 1}) {
+		sc := sc
+		if sc.Protocol == protocols.P3DisjointRO {
+			sc.Cap = 20 * time.Second
+		}
+		b.Run(sc.Name, func(b *testing.B) {
+			runProtocolBench(b, sc.CounterConfig())
 		})
 	}
 }
 
-// BenchmarkFig7SleepHysteresis is the paper's first, rejected fix: a
-// fixed delay after each loss instead of a purge.
-func BenchmarkFig7SleepHysteresis(b *testing.B) {
-	runProtocolBench(b, protocols.Config{
-		Protocol: protocols.P3Hysteresis, Target: benchTarget,
-		SleepHysteresis: 5 * time.Millisecond, Seed: 1,
-	})
-}
-
-// BenchmarkFig8DataDriven regenerates Figure 8 (spin on data-driven view
-// of one shared page).
-func BenchmarkFig8DataDriven(b *testing.B) {
-	runProtocolBench(b, protocols.Config{Protocol: protocols.P4DataDriven, Target: benchTarget, Seed: 1})
-}
-
-// BenchmarkFig9Final regenerates Figure 9 (the final protocol).
-func BenchmarkFig9Final(b *testing.B) {
-	runProtocolBench(b, protocols.Config{Protocol: protocols.P5Final, Target: benchTarget, Seed: 1})
+// BenchmarkFig7Hysteresis sweeps the Figure-7 purge period and the
+// paper's rejected sleep-based fix, via the sweep definitions.
+func BenchmarkFig7Hysteresis(b *testing.B) {
+	for _, sc := range sweep.HysteresisSweep(sweep.Options{Target: benchTarget, Seed: 1}) {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			runProtocolBench(b, sc.CounterConfig())
+		})
+	}
 }
 
 // BenchmarkSolverSpeedup regenerates the Section-3 claim: near-linear
@@ -245,21 +219,30 @@ func BenchmarkAblationWakeBoost(b *testing.B) {
 // BenchmarkAblationKernelServer measures the paper's proposed fix for
 // its final bottleneck ("the context switches required to receive a new
 // page... will be solved by ... a migration of the user level server
-// code to the kernel"): the same protocols with interrupt-level protocol
-// processing.
+// code to the kernel") via the sweep engine's kernel-ablation grid.
 func BenchmarkAblationKernelServer(b *testing.B) {
-	for _, kernel := range []bool{false, true} {
-		for _, p := range []protocols.Protocol{protocols.P2ShortPage, protocols.P5Final} {
-			name := fmt.Sprintf("%v/kernel=%v", p, kernel)
-			b.Run(name, func(b *testing.B) {
-				cc := core.DefaultConfig(8)
-				cc.KernelServer = kernel
-				runProtocolBench(b, protocols.Config{
-					Protocol: p, Target: benchTarget, Seed: 1, Core: cc,
-				})
-			})
-		}
+	for _, sc := range sweep.KernelAblation(sweep.Options{Target: benchTarget, Seed: 1}) {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			runProtocolBench(b, sc.CounterConfig())
+		})
 	}
+}
+
+// BenchmarkSweepEngine measures the sweep engine itself: the smoke grid
+// through the bounded worker pool, reporting achieved parallel speedup
+// over serial-equivalent execution.
+func BenchmarkSweepEngine(b *testing.B) {
+	scs, err := sweep.Grid("smoke", sweep.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tm sweep.Timing
+	for i := 0; i < b.N; i++ {
+		_, tm = sweep.Runner{}.Run("smoke", scs)
+	}
+	b.ReportMetric(tm.Speedup, "speedup")
+	b.ReportMetric(float64(tm.Workers), "workers")
 }
 
 // BenchmarkAblationRetryTimeout sweeps the demand-request retransmit

@@ -13,11 +13,10 @@ import (
 	"strings"
 	"time"
 
-	"mether/internal/core"
-	"mether/internal/ethernet"
 	"mether/internal/memnet"
 	"mether/internal/protocols"
 	"mether/internal/solver"
+	"mether/internal/sweep"
 )
 
 var (
@@ -74,25 +73,18 @@ func runFanout(w *writer) {
 }
 
 // runKernelServerAblation measures the paper's predicted fix: moving the
-// server into the kernel removes the context-switch bottleneck.
+// server into the kernel removes the context-switch bottleneck. The
+// configurations come from the sweep engine's kernel-ablation grid.
 func runKernelServerAblation(w *writer, target uint32) {
 	w.section("Ablation: user-level vs in-kernel server (the paper's future work)")
-	headers := []string{"protocol", "server", "wall", "latency", "loss/win", "sys+server"}
+	headers := []string{"scenario", "wall", "latency", "loss/win", "sys+server"}
 	var rows [][]string
-	for _, p := range []protocols.Protocol{protocols.P2ShortPage, protocols.P5Final} {
-		for _, kernel := range []bool{false, true} {
-			cc := core.DefaultConfig(8)
-			cc.KernelServer = kernel
-			r := mustRun(protocols.Config{Protocol: p, Target: target, Seed: *flagSeed, Core: cc})
-			mode := "user-level"
-			if kernel {
-				mode = "kernel"
-			}
-			rows = append(rows, []string{
-				r.Protocol.String(), mode, fmtDur(r.Wall), fmtDur(r.AvgLatency),
-				fmt.Sprintf("%.1f", r.LossWin), fmtDur(r.SysTotal()),
-			})
-		}
+	for _, sc := range sweep.KernelAblation(sweep.Options{Target: target, Seed: *flagSeed}) {
+		r := mustRun(sc.CounterConfig())
+		rows = append(rows, []string{
+			sc.Name, fmtDur(r.Wall), fmtDur(r.AvgLatency),
+			fmt.Sprintf("%.1f", r.LossWin), fmtDur(r.SysTotal()),
+		})
 	}
 	w.table(headers, rows)
 	w.notef("\"That problem will be solved by ... a migration of the user level server code to the kernel.\"")
@@ -164,12 +156,24 @@ func mustRun(cfg protocols.Config) protocols.Report {
 
 func scale(target uint32) float64 { return 1024 / float64(target) }
 
-// fig4Row renders one measured report as the paper's figure rows.
-// paper holds the paper's values (empty string = not reported).
+// figSpec carries the paper's published values for one figure; the run
+// configuration itself comes from the sweep engine's figure scenarios,
+// matched by protocol. paper holds the paper's values (empty string =
+// not reported).
 type figSpec struct {
 	title string
 	proto protocols.Protocol
 	paper map[string]string
+}
+
+// figSpecFor finds the paper values for a figure scenario's protocol.
+func figSpecFor(p protocols.Protocol) (figSpec, bool) {
+	for _, f := range figures {
+		if f.proto == p {
+			return f, true
+		}
+	}
+	return figSpec{}, false
 }
 
 var figures = []figSpec{
@@ -245,18 +249,16 @@ func runBaselines(w *writer, target uint32) {
 }
 
 func runFigures(w *writer, target uint32) {
-	for _, f := range figures {
-		cfg := protocols.Config{Protocol: f.proto, Target: target, Seed: *flagSeed, HysteresisN: 100}
-		if f.proto == protocols.P3DisjointRO {
-			// The paper killed this run; we additionally inject the era's
-			// datagram loss, under which the passive protocol has no
-			// recovery path and genuinely never finishes.
-			np := ethernet.DefaultParams()
-			np.LossRate = 0.002
-			cfg.NetParams = np
-			cfg.Cap = 240 * time.Second
+	// The sweep engine owns the figure configurations (including the
+	// Figure-6 loss injection and cap); this command only adds the
+	// paper's published values alongside the measurements.
+	for _, sc := range sweep.FigureScenarios(sweep.Options{Target: target, Seed: *flagSeed}) {
+		f, ok := figSpecFor(sc.Protocol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no paper values for %v\n", sc.Protocol)
+			os.Exit(1)
 		}
-		r := mustRun(cfg)
+		r := mustRun(sc.CounterConfig())
 		w.section(f.title)
 		s := scale(target)
 		rows := [][]string{
@@ -278,56 +280,27 @@ func runFigures(w *writer, target uint32) {
 
 func runHysteresisSweep(w *writer, target uint32) {
 	w.section("Ablation: hysteresis period N (Figure 7 discussion)")
-	headers := []string{"N", "wall", "loss/win", "packets", "sys", "user", "finished"}
+	headers := []string{"scenario", "wall", "loss/win", "packets", "sys", "user", "finished"}
 	var rows [][]string
-	for _, n := range []int{1, 10, 100, 1000, 10000} {
-		r := mustRun(protocols.Config{
-			Protocol: protocols.P3Hysteresis, Target: target,
-			HysteresisN: n, Seed: *flagSeed, Cap: 300 * time.Second,
-		})
+	for _, sc := range sweep.HysteresisSweep(sweep.Options{Target: target, Seed: *flagSeed}) {
+		r := mustRun(sc.CounterConfig())
 		rows = append(rows, []string{
-			fmt.Sprint(n), fmtDur(r.Wall), fmt.Sprintf("%.1f", r.LossWin),
+			sc.Name, fmtDur(r.Wall), fmt.Sprintf("%.1f", r.LossWin),
 			fmt.Sprint(r.Packets), fmtDur(r.SysTotal()), fmtDur(r.User),
 			fmt.Sprint(!r.DNF),
 		})
 	}
-	rows = append(rows, sleepHystRow(target))
 	w.table(headers, rows)
-}
-
-func sleepHystRow(target uint32) []string {
-	r := mustRun(protocols.Config{
-		Protocol: protocols.P3Hysteresis, Target: target,
-		SleepHysteresis: 5 * time.Millisecond, Seed: *flagSeed, Cap: 300 * time.Second,
-	})
-	return []string{
-		"sleep 5ms", fmtDur(r.Wall), fmt.Sprintf("%.1f", r.LossWin),
-		fmt.Sprint(r.Packets), fmtDur(r.SysTotal()), fmtDur(r.User), fmt.Sprint(!r.DNF),
-	}
 }
 
 func runLossAblation(w *writer, target uint32) {
 	w.section("Ablation: datagram loss vs. protocol liveness (reliability discussion, Section 3)")
-	headers := []string{"protocol", "loss rate", "finished", "additions", "loss/win", "retries"}
+	headers := []string{"scenario", "finished", "additions", "loss/win", "retries"}
 	var rows [][]string
-	for _, tc := range []struct {
-		p    protocols.Protocol
-		loss float64
-	}{
-		{protocols.P3DisjointRO, 0},
-		{protocols.P3DisjointRO, 0.002},
-		{protocols.P3Hysteresis, 0.002},
-		{protocols.P2ShortPage, 0.002},
-	} {
-		np := ethernet.DefaultParams()
-		np.LossRate = tc.loss
-		r := mustRun(protocols.Config{
-			Protocol: tc.p, Target: target, NetParams: np,
-			HysteresisN: 100, Seed: *flagSeed, Cap: 240 * time.Second,
-		})
+	for _, sc := range sweep.LossAblation(sweep.Options{Target: target, Seed: *flagSeed}) {
+		r := mustRun(sc.CounterConfig())
 		rows = append(rows, []string{
-			r.Protocol.String(), fmt.Sprintf("%.1f%%", tc.loss*100),
-			fmt.Sprint(!r.DNF), fmt.Sprint(r.Additions),
+			sc.Name, fmt.Sprint(!r.DNF), fmt.Sprint(r.Additions),
 			fmt.Sprintf("%.1f", r.LossWin), fmt.Sprint(r.Retries),
 		})
 	}

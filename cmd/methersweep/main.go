@@ -1,0 +1,146 @@
+// Command methersweep runs named scenario grids through the parallel
+// sweep engine and emits deterministic JSON or CSV reports.
+//
+// The report on stdout is a pure function of (grid, target, seed): it
+// contains only virtual-time measurements, so it is byte-identical
+// across runs, worker counts and machines — diff two runs to prove a
+// change is a no-op, or use -baseline to compare against a saved report.
+// Real-time execution stats (wall clock, per-worker speedup) go to
+// stderr, where they cannot perturb the report.
+//
+// Examples:
+//
+//	methersweep -list
+//	methersweep -grid smoke
+//	methersweep -grid paper -target 1024 -o paper.json
+//	methersweep -grid paper -baseline paper.json -tolerance 0.05
+//	methersweep -grid all -workers 1 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"mether/internal/sweep"
+)
+
+var (
+	flagGrid      = flag.String("grid", "smoke", "named grid to run (see -list)")
+	flagList      = flag.Bool("list", false, "list available grids and exit")
+	flagWorkers   = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+	flagSerial    = flag.Bool("serial", false, "force one worker (baseline for speedup measurement)")
+	flagTarget    = flag.Uint("target", 1024, "counter target for protocol scenarios")
+	flagSeed      = flag.Int64("seed", 1, "simulation seed for every scenario")
+	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
+	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
+	flagBaseline  = flag.String("baseline", "", "JSON report to compare against")
+	flagTolerance = flag.Float64("tolerance", 0, "relative change below which -baseline deltas are ignored")
+	flagQuiet     = flag.Bool("q", false, "suppress the timing summary on stderr")
+)
+
+func main() {
+	flag.Parse()
+	if *flagList {
+		for _, name := range sweep.GridNames() {
+			scs, _ := sweep.Grid(name, sweep.Options{})
+			fmt.Printf("%-12s %3d scenarios\n", name, len(scs))
+		}
+		return
+	}
+
+	switch *flagFormat {
+	case "json", "csv", "summary":
+	default:
+		// Reject before running: a bad format must not cost a full sweep.
+		fatal(fmt.Errorf("unknown format %q (want json, csv or summary)", *flagFormat))
+	}
+	if *flagTarget > math.MaxUint32 {
+		fatal(fmt.Errorf("-target %d exceeds the 32-bit counter", *flagTarget))
+	}
+	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed})
+	if err != nil {
+		fatal(err)
+	}
+	workers := *flagWorkers
+	if *flagSerial {
+		workers = 1
+	}
+	report, timing := sweep.Runner{Workers: workers}.Run(*flagGrid, scs)
+
+	var out []byte
+	switch *flagFormat {
+	case "json":
+		out, err = report.JSON()
+		if err != nil {
+			fatal(err)
+		}
+	case "csv":
+		out = report.CSV()
+	case "summary":
+		out = []byte(report.Summary())
+	}
+	if *flagOut != "" {
+		if err := os.WriteFile(*flagOut, out, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+
+	if !*flagQuiet {
+		fmt.Fprintf(os.Stderr, "sweep %s: %d scenarios, %d workers, elapsed %v, serial-equivalent %v, speedup %.2fx\n",
+			*flagGrid, len(scs), timing.Workers, timing.Elapsed.Round(time.Millisecond), timing.Serial.Round(time.Millisecond), timing.Speedup)
+	}
+
+	// A scenario error or an out-of-band paper check is a gate failure:
+	// the band checks exist to catch calibration drift, so drifting
+	// outside them must flip the exit code.
+	failures := 0
+	for _, r := range report.Scenarios {
+		if r.Err != "" {
+			fmt.Fprintf(os.Stderr, "scenario %s failed: %s\n", r.Name, r.Err)
+			failures++
+		}
+		for _, d := range r.Deviations {
+			fmt.Fprintf(os.Stderr, "band deviation: %s\n", d)
+		}
+		if len(r.Deviations) > 0 {
+			failures++
+		}
+	}
+
+	if *flagBaseline != "" {
+		base, err := os.ReadFile(*flagBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		baseRep, err := sweep.ParseJSON(base)
+		if err != nil {
+			fatal(err)
+		}
+		deltas := sweep.Compare(baseRep, report, *flagTolerance)
+		if len(deltas) == 0 {
+			fmt.Fprintf(os.Stderr, "baseline %s: no deltas beyond tolerance %.3g\n", *flagBaseline, *flagTolerance)
+		}
+		var lines []string
+		for _, d := range deltas {
+			lines = append(lines, "  "+d.String())
+		}
+		if len(lines) > 0 {
+			fmt.Fprintf(os.Stderr, "baseline %s: %d delta(s)\n%s\n", *flagBaseline, len(deltas), strings.Join(lines, "\n"))
+			failures++
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "methersweep:", err)
+	os.Exit(1)
+}

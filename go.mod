@@ -1,0 +1,3 @@
+module mether
+
+go 1.21

@@ -176,6 +176,89 @@ func TestHeaderRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestDecodeMalformedTable walks every malformed-input class with the
+// reason each should fail: bad magic, wrong version, unknown type,
+// truncated header, and payload length mismatches for every packet type.
+func TestDecodeMalformedTable(t *testing.T) {
+	goodShort, err := Encode(Packet{Type: TypeData, Short: true, OwnerTo: NoOwner, Data: make([]byte, vm.ShortSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodReq, err := Encode(Packet{Type: TypeRequest, OwnerTo: NoOwner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodRest, err := Encode(Packet{Type: TypeRestData, OwnerTo: NoOwner, Data: make([]byte, RestLen)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(b []byte, off int, v byte) []byte {
+		out := append([]byte(nil), b...)
+		out[off] = v
+		return out
+	}
+	tests := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{magic}},
+		{"bad magic", corrupt(goodReq, 0, 0x00)},
+		{"bad version", corrupt(goodReq, 1, version+1)},
+		{"unknown type zero", corrupt(goodReq, 2, 0)},
+		{"unknown type high", corrupt(goodReq, 2, 200)},
+		{"request with payload", append(append([]byte(nil), goodReq...), 0xFF)},
+		{"short data truncated payload", goodShort[:len(goodShort)-1]},
+		{"short data extra payload", append(append([]byte(nil), goodShort...), 0)},
+		{"short flag cleared on short payload", corrupt(goodShort, 3, 0)},
+		{"rest data truncated", goodRest[:len(goodRest)-7]},
+		{"rest request with payload", corrupt(goodRest, 2, byte(TypeRestRequest))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.b); !errors.Is(err, ErrMalformed) {
+				t.Errorf("Decode(%q) err = %v, want ErrMalformed", tt.name, err)
+			}
+		})
+	}
+}
+
+// TestDecodeTruncatedHeaderEveryLength rejects every sub-header prefix
+// of a valid packet.
+func TestDecodeTruncatedHeaderEveryLength(t *testing.T) {
+	enc, err := Encode(Packet{Type: TypeData, Short: true, OwnerTo: NoOwner, Data: make([]byte, vm.ShortSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < HeaderLen; n++ {
+		if _, err := Decode(enc[:n]); !errors.Is(err, ErrMalformed) {
+			t.Errorf("Decode of %d-byte prefix: err = %v, want ErrMalformed", n, err)
+		}
+	}
+}
+
+// TestGoldenHeaderLayout pins the wire layout byte for byte; the header
+// format is a compatibility surface for traces and calibration.
+func TestGoldenHeaderLayout(t *testing.T) {
+	enc, err := Encode(Packet{
+		Type: TypeRequest, Page: 0x01020304, Short: true, Consistent: true,
+		From: 3, OwnerTo: NoOwner, ReqID: 0xBEEF, Gen: 0x0A0B0C0D,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		magic, version, byte(TypeRequest), flagShort | flagConsist,
+		0x04, 0x03, 0x02, 0x01, // page, little-endian
+		3, 0xFF, // from, ownerTo (NoOwner = -1)
+		0xEF, 0xBE, // reqID, little-endian
+		0x0D, 0x0C, 0x0B, 0x0A, // gen, little-endian
+	}
+	if !bytes.Equal(enc, want) {
+		t.Errorf("header layout drifted:\n got %x\nwant %x", enc, want)
+	}
+}
+
 // Property: Decode never panics on random input.
 func TestDecodeNeverPanics(t *testing.T) {
 	prop := func(b []byte) (ok bool) {

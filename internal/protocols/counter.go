@@ -426,5 +426,9 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 		lat.Merge(&w.Driver(i).Metrics().FaultLatency)
 	}
 	r.AvgLatency = lat.Mean()
+	r.LatP50 = lat.Quantile(0.5)
+	r.LatP90 = lat.Quantile(0.9)
+	r.LatMax = lat.Max()
+	r.LatCount = lat.Count()
 	return r
 }

@@ -156,9 +156,15 @@ type Report struct {
 	SpacePages     int
 	SpaceBytes     int
 	AvgLatency     time.Duration
-	Losses         uint64
-	Wins           uint64
-	LossWin        float64
+	// LatP50/P90/Max and LatCount describe the full fault-latency
+	// distribution (the sweep engine aggregates these, not just the mean).
+	LatP50   time.Duration
+	LatP90   time.Duration
+	LatMax   time.Duration
+	LatCount uint64
+	Losses   uint64
+	Wins     uint64
+	LossWin  float64
 
 	// Extras for analysis.
 	Retries       uint64

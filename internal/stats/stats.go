@@ -67,7 +67,8 @@ func (h *Histogram) Min() time.Duration { return h.min }
 func (h *Histogram) Max() time.Duration { return h.max }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
-// the bucket boundaries; the estimate is exact to within a factor of two.
+// the bucket boundaries; the estimate is exact to within a factor of
+// two, and never exceeds the observed maximum.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 || q <= 0 {
 		return 0
@@ -83,7 +84,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= target {
-			return time.Duration(1) << uint(i+1)
+			bound := time.Duration(1) << uint(i+1)
+			if bound > h.max {
+				bound = h.max
+			}
+			return bound
 		}
 	}
 	return h.max

@@ -71,6 +71,118 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// The sweep engine's aggregation leans on Merge and Quantile; these pin
+// their edge cases.
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var dst, src Histogram
+	src.Observe(2 * time.Millisecond)
+	src.Observe(8 * time.Millisecond)
+	dst.Merge(&src)
+	if dst.Count() != 2 || dst.Min() != 2*time.Millisecond || dst.Max() != 8*time.Millisecond {
+		t.Errorf("merge into empty lost samples: %v", dst.String())
+	}
+	if dst.Sum() != 10*time.Millisecond {
+		t.Errorf("merged sum = %v, want 10ms", dst.Sum())
+	}
+}
+
+func TestMergeEmptyIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Merge(&b)
+	if a.Count() != 0 || a.Min() != 0 || a.Max() != 0 || a.Quantile(0.5) != 0 {
+		t.Errorf("empty merge produced samples: %v", a.String())
+	}
+}
+
+func TestMergePreservesZeroMin(t *testing.T) {
+	// A histogram whose genuine minimum is 0 must not have its min
+	// clobbered when merged into a non-empty histogram with min > 0.
+	var a, b Histogram
+	a.Observe(5 * time.Millisecond)
+	b.Observe(0)
+	a.Merge(&b)
+	if a.Min() != 0 {
+		t.Errorf("merged min = %v, want 0", a.Min())
+	}
+}
+
+func TestMergeCrossBucket(t *testing.T) {
+	// Samples landing in distant log2 buckets must all survive a merge,
+	// and quantiles must see the union.
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Microsecond) // bucket ~10
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(time.Second) // bucket ~30
+	}
+	a.Merge(&b)
+	if a.Count() != 20 {
+		t.Fatalf("merged count = %d, want 20", a.Count())
+	}
+	if q := a.Quantile(0.25); q > 4*time.Microsecond {
+		t.Errorf("p25 = %v, want near 1µs", q)
+	}
+	if q := a.Quantile(0.95); q < 500*time.Millisecond {
+		t.Errorf("p95 = %v, want near 1s", q)
+	}
+}
+
+func TestMergeSelfDoubles(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	h.Merge(&h)
+	if h.Count() != 4 || h.Sum() != 10*time.Millisecond {
+		t.Errorf("self merge: count=%d sum=%v, want 4/10ms", h.Count(), h.Sum())
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	for _, q := range []float64{0.01, 0.5, 1.0} {
+		v := h.Quantile(q)
+		// The single sample is both the floor and the ceiling; the
+		// log-bucket estimate must land on it exactly (clamped to max).
+		if v != 3*time.Millisecond {
+			t.Errorf("single-sample Quantile(%v) = %v, want 3ms", q, v)
+		}
+	}
+}
+
+func TestQuantileNeverExceedsMax(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	h.Observe(6 * time.Millisecond)
+	for _, q := range []float64{0.1, 0.5, 0.9, 1.0} {
+		if v := h.Quantile(q); v > h.Max() {
+			t.Errorf("Quantile(%v) = %v exceeds max %v", q, v, h.Max())
+		}
+	}
+}
+
+func TestQuantileOutOfRangeArgs(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if v := h.Quantile(-0.5); v != 0 {
+		t.Errorf("Quantile(-0.5) = %v, want 0", v)
+	}
+	if v := h.Quantile(5); v != h.Quantile(1) {
+		t.Errorf("Quantile(5) = %v, want same as Quantile(1)", v)
+	}
+}
+
 func TestRateAndRatio(t *testing.T) {
 	if r := Rate(100, 2*time.Second); r != 50 {
 		t.Errorf("Rate = %f, want 50", r)

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// runSmokeBytes runs the smoke grid with the given worker count and
+// returns the marshalled JSON report.
+func runSmokeBytes(t *testing.T, workers int) []byte {
+	t.Helper()
+	scs, err := Grid("smoke", Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := Runner{Workers: workers}.Run("smoke", scs)
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReportDeterministicAcrossRuns proves the same grid and seed yield
+// byte-identical reports on repeated runs.
+func TestReportDeterministicAcrossRuns(t *testing.T) {
+	a := runSmokeBytes(t, 2)
+	b := runSmokeBytes(t, 2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical sweeps produced different reports:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestReportDeterministicAcrossWorkerCounts proves pool scheduling never
+// leaks into results: one worker and many workers agree byte-for-byte.
+func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := runSmokeBytes(t, 1)
+	parallel := runSmokeBytes(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("worker count changed the report:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestReportDeterministicAcrossGOMAXPROCS proves the parallel runner
+// never leaks real-scheduler nondeterminism into a simulated World:
+// GOMAXPROCS=1 and GOMAXPROCS=NumCPU produce byte-identical reports.
+func TestReportDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	runtime.GOMAXPROCS(1)
+	single := runSmokeBytes(t, 0) // 0 = one worker per GOMAXPROCS
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	multi := runSmokeBytes(t, 0)
+	if !bytes.Equal(single, multi) {
+		t.Fatalf("GOMAXPROCS changed the report:\n--- 1 ---\n%s\n--- NumCPU ---\n%s", single, multi)
+	}
+}
+
+// TestSeedChangesReport guards against the opposite failure: if two
+// different seeds produced identical reports the determinism tests above
+// would be vacuous.
+func TestSeedChangesReport(t *testing.T) {
+	scs1, err := Grid("smoke", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs2, err := Grid("smoke", Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := Runner{Workers: 2}.Run("smoke", scs1)
+	r2, _ := Runner{Workers: 2}.Run("smoke", scs2)
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b2) {
+		t.Error("different seeds produced byte-identical reports; seeds are not reaching the worlds")
+	}
+}

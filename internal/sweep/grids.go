@@ -1,0 +1,290 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mether/internal/protocols"
+	"mether/internal/workload"
+)
+
+// Options scales a named grid. Zero values take the grid defaults.
+type Options struct {
+	// Target is the counter target for protocol scenarios (default 1024,
+	// the paper's scale; smoke grids use their own smaller targets).
+	Target uint32
+	// Seed drives every scenario (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Target == 0 {
+		o.Target = 1024
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FigureScenarios returns the paper's Figure 4-9 configurations as
+// sweep scenarios, in figure order. At Target 1024 the four figures
+// with published agreement bands carry band checks.
+func FigureScenarios(o Options) []Scenario {
+	o = o.withDefaults()
+	figCap := 240 * time.Second
+	return []Scenario{
+		{Name: "fig4-full-page", Kind: KindCounter, Protocol: protocols.P1FullPage,
+			Target: o.Target, Seed: o.Seed, Figure: "Figure 4 (full page)"},
+		{Name: "fig5-short-page", Kind: KindCounter, Protocol: protocols.P2ShortPage,
+			Target: o.Target, Seed: o.Seed, Figure: "Figure 5 (short page)"},
+		// The paper killed the Figure 6 run; with era datagram loss the
+		// passive spin protocol genuinely never finishes, so it runs
+		// against a cap.
+		{Name: "fig6-disjoint-ro", Kind: KindCounter, Protocol: protocols.P3DisjointRO,
+			Target: o.Target, Seed: o.Seed, LossRate: 0.002, Cap: figCap},
+		{Name: "fig7-hysteresis", Kind: KindCounter, Protocol: protocols.P3Hysteresis,
+			Target: o.Target, Seed: o.Seed, HysteresisN: 100},
+		{Name: "fig8-data-driven", Kind: KindCounter, Protocol: protocols.P4DataDriven,
+			Target: o.Target, Seed: o.Seed, Figure: "Figure 8 (data driven, one page)"},
+		{Name: "fig9-final", Kind: KindCounter, Protocol: protocols.P5Final,
+			Target: o.Target, Seed: o.Seed, Figure: "Figure 9 (final protocol)"},
+	}
+}
+
+// KernelAblation crosses the paper's two good protocols with the
+// user-level vs in-kernel server placement (the paper's proposed fix).
+func KernelAblation(o Options) []Scenario {
+	o = o.withDefaults()
+	var out []Scenario
+	for _, p := range []protocols.Protocol{protocols.P2ShortPage, protocols.P5Final} {
+		for _, kernel := range []bool{false, true} {
+			mode := "user"
+			if kernel {
+				mode = "kernel"
+			}
+			out = append(out, Scenario{
+				Name: fmt.Sprintf("kernel/%v/%s", p, mode), Kind: KindCounter,
+				Protocol: p, Target: o.Target, Seed: o.Seed, KernelServer: kernel,
+			})
+		}
+	}
+	return out
+}
+
+// LossAblation crosses protocols with datagram loss rates: the
+// reliability discussion (the passive Figure-6 protocol has no recovery
+// path; hysteresis and demand protocols do).
+func LossAblation(o Options) []Scenario {
+	o = o.withDefaults()
+	cap := 240 * time.Second
+	var out []Scenario
+	for _, tc := range []struct {
+		p    protocols.Protocol
+		loss float64
+	}{
+		{protocols.P3DisjointRO, 0},
+		{protocols.P3DisjointRO, 0.002},
+		{protocols.P3Hysteresis, 0.002},
+		{protocols.P2ShortPage, 0.002},
+		{protocols.P5Final, 0.002},
+	} {
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("loss/%v/%.1f%%", tc.p, tc.loss*100), Kind: KindCounter,
+			Protocol: tc.p, Target: o.Target, Seed: o.Seed,
+			HysteresisN: 100, LossRate: tc.loss, Cap: cap,
+		})
+	}
+	return out
+}
+
+// HysteresisSweep sweeps the Figure-7 purge period — including the
+// boundary cells N=1 (purge on every loss, the flood variant) and
+// N=10000 (nearly no recovery) — plus the paper's rejected sleep-based
+// fix. The extreme cells run against a cap; whether they finish is part
+// of the measurement.
+func HysteresisSweep(o Options) []Scenario {
+	o = o.withDefaults()
+	cap := 300 * time.Second
+	var out []Scenario
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("hysteresis/N=%d", n), Kind: KindCounter,
+			Protocol: protocols.P3Hysteresis, Target: o.Target, Seed: o.Seed,
+			HysteresisN: n, Cap: cap,
+		})
+	}
+	out = append(out, Scenario{
+		Name: "hysteresis/sleep-5ms", Kind: KindCounter,
+		Protocol: protocols.P3Hysteresis, Target: o.Target, Seed: o.Seed,
+		SleepHyst: 5 * time.Millisecond, Cap: cap,
+	})
+	return out
+}
+
+// HotspotGrid crosses cluster size with the page-mode axis on the
+// hot-page contention workload.
+func HotspotGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	var out []Scenario
+	for _, hosts := range []int{2, 4, 8} {
+		for _, short := range []bool{true, false} {
+			mode := "full"
+			if short {
+				mode = "short"
+			}
+			out = append(out, Scenario{
+				Name: fmt.Sprintf("hotspot/h%d/%s", hosts, mode), Kind: KindHotspot,
+				Hosts: hosts, Iters: 32, ShortPage: short, Seed: o.Seed,
+			})
+		}
+	}
+	return out
+}
+
+// BarrierGrid scales the bulk-synchronous barrier workload in host
+// count, with one lossy cell.
+func BarrierGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	var out []Scenario
+	for _, hosts := range []int{2, 4, 8} {
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("barrier/h%d", hosts), Kind: KindBarrier,
+			Hosts: hosts, Phases: 8, Seed: o.Seed,
+		})
+	}
+	out = append(out, Scenario{
+		Name: "barrier/h4/loss-0.2%", Kind: KindBarrier,
+		Hosts: 4, Phases: 8, Seed: o.Seed, LossRate: 0.002,
+	})
+	return out
+}
+
+// PipelineGrid crosses chain depth with the message-size axis on the
+// producer-consumer pipeline.
+func PipelineGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	var out []Scenario
+	for _, stages := range []int{2, 3, 4} {
+		for _, size := range []int{8, 2048} {
+			out = append(out, Scenario{
+				Name: fmt.Sprintf("pipeline/s%d/%dB", stages, size), Kind: KindPipeline,
+				Stages: stages, Messages: 16, MsgSize: size, Seed: o.Seed,
+			})
+		}
+	}
+	return out
+}
+
+// PipeMixGrid runs the single-pipe throughput workload across the
+// paper's message mixes, with and without datagram loss.
+func PipeMixGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	dists := []workload.SizeDist{
+		workload.Fixed{Size: 8},
+		workload.Fixed{Size: 7000},
+		workload.Bimodal{Small: 8, Large: 7000, LargeEvery: 8},
+	}
+	var out []Scenario
+	for _, d := range dists {
+		out = append(out, Scenario{
+			Name: "pipes/" + d.Name(), Kind: KindPipe,
+			Dist: d, Messages: 24, Seed: o.Seed,
+		})
+	}
+	return out
+}
+
+// FanoutGrid crosses broadcast vs demand reader refresh with reader
+// count (the paper's cache-invalidate scaling argument).
+func FanoutGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	var out []Scenario
+	for _, mode := range []protocols.FanoutMode{protocols.FanoutDataDriven, protocols.FanoutDemand} {
+		for _, readers := range []int{2, 8} {
+			out = append(out, Scenario{
+				Name: fmt.Sprintf("fanout/%v/r%d", mode, readers), Kind: KindFanout,
+				FanoutMode: mode, Readers: readers, Updates: 16, Seed: o.Seed,
+			})
+		}
+	}
+	return out
+}
+
+// SmokeGrid is the fast cross-section used by CI: one small scenario of
+// every kind plus both server placements, finishing in seconds.
+func SmokeGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	return []Scenario{
+		{Name: "smoke/counter-short", Kind: KindCounter, Protocol: protocols.P2ShortPage,
+			Target: 64, Seed: o.Seed},
+		{Name: "smoke/counter-final", Kind: KindCounter, Protocol: protocols.P5Final,
+			Target: 64, Seed: o.Seed},
+		{Name: "smoke/counter-final-kernel", Kind: KindCounter, Protocol: protocols.P5Final,
+			Target: 64, Seed: o.Seed, KernelServer: true},
+		{Name: "smoke/fanout-dd", Kind: KindFanout, FanoutMode: protocols.FanoutDataDriven,
+			Readers: 2, Updates: 8, Seed: o.Seed},
+		{Name: "smoke/pipes-control", Kind: KindPipe, Dist: workload.Fixed{Size: 8},
+			Messages: 12, Seed: o.Seed},
+		{Name: "smoke/hotspot", Kind: KindHotspot, Hosts: 2, Iters: 8, ShortPage: true, Seed: o.Seed},
+		{Name: "smoke/barrier", Kind: KindBarrier, Hosts: 2, Phases: 4, Seed: o.Seed},
+		{Name: "smoke/pipeline", Kind: KindPipeline, Stages: 3, Messages: 8, MsgSize: 8, Seed: o.Seed},
+	}
+}
+
+// grids maps every named grid to its builder.
+var grids = map[string]func(Options) []Scenario{
+	"figures":    FigureScenarios,
+	"kernel":     KernelAblation,
+	"loss":       LossAblation,
+	"hysteresis": HysteresisSweep,
+	"hotspot":    HotspotGrid,
+	"barrier":    BarrierGrid,
+	"pipeline":   PipelineGrid,
+	"pipes":      PipeMixGrid,
+	"fanout":     FanoutGrid,
+	"smoke":      SmokeGrid,
+	"ablation": func(o Options) []Scenario {
+		return concat(KernelAblation(o), LossAblation(o), HysteresisSweep(o))
+	},
+	"paper": func(o Options) []Scenario {
+		return concat(FigureScenarios(o), KernelAblation(o), LossAblation(o), HysteresisSweep(o), FanoutGrid(o))
+	},
+	"workloads": func(o Options) []Scenario {
+		return concat(HotspotGrid(o), BarrierGrid(o), PipelineGrid(o), PipeMixGrid(o))
+	},
+	"all": func(o Options) []Scenario {
+		return concat(
+			FigureScenarios(o), KernelAblation(o), LossAblation(o), HysteresisSweep(o),
+			FanoutGrid(o), HotspotGrid(o), BarrierGrid(o), PipelineGrid(o), PipeMixGrid(o),
+		)
+	},
+}
+
+func concat(lists ...[]Scenario) []Scenario {
+	var out []Scenario
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// GridNames lists every named grid, sorted.
+func GridNames() []string {
+	names := make([]string, 0, len(grids))
+	for n := range grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Grid builds a named grid. Unknown names list the alternatives.
+func Grid(name string, o Options) ([]Scenario, error) {
+	build, ok := grids[name]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown grid %q (have %v)", name, GridNames())
+	}
+	return build(o), nil
+}

@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is a sweep's deterministic output: the grid name and one
+// Result per scenario, in grid order. It contains no real-time or
+// environment-dependent values, so equal grids and seeds marshal to
+// byte-identical JSON and CSV on any machine.
+type Report struct {
+	Grid      string   `json:"grid"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// csvColumns is the fixed CSV column order.
+var csvColumns = []string{
+	"name", "kind", "seed", "err", "dnf",
+	"wall_ns", "ops", "ops_per_sec", "loss_win",
+	"user_ns", "sys_ns", "server_ns", "ctx_switches",
+	"wire_bytes", "packets", "net_bytes_per_sec",
+	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_max_ns", "lat_count",
+	"deviations",
+}
+
+// CSV renders the report as one header row plus one row per scenario.
+func (r Report) CSV() []byte {
+	var buf bytes.Buffer
+	for i, c := range csvColumns {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(c)
+	}
+	buf.WriteByte('\n')
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range r.Scenarios {
+		row := []string{
+			csvQuote(s.Name), string(s.Kind), strconv.FormatInt(s.Seed, 10),
+			csvQuote(s.Err), strconv.FormatBool(s.DNF),
+			strconv.FormatInt(s.WallNS, 10), strconv.FormatUint(s.Ops, 10),
+			f(s.OpsPerSec), f(s.LossWin),
+			strconv.FormatInt(s.UserNS, 10), strconv.FormatInt(s.SysNS, 10),
+			strconv.FormatInt(s.ServerNS, 10), strconv.FormatUint(s.CtxSwitches, 10),
+			strconv.FormatUint(s.WireBytes, 10), strconv.FormatUint(s.Packets, 10),
+			f(s.NetBytesPerSec),
+			strconv.FormatInt(s.LatMeanNS, 10), strconv.FormatInt(s.LatP50NS, 10),
+			strconv.FormatInt(s.LatP90NS, 10), strconv.FormatInt(s.LatMaxNS, 10),
+			strconv.FormatUint(s.LatCount, 10),
+			csvQuote(strings.Join(s.Deviations, "; ")),
+		}
+		for i, c := range row {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(c)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// csvQuote quotes a field per RFC 4180 when it contains CSV
+// metacharacters: wrapped in double quotes with inner quotes doubled.
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// ParseJSON restores a report written by JSON (baseline comparison).
+func ParseJSON(b []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("sweep: bad baseline report: %w", err)
+	}
+	return r, nil
+}
+
+// Delta is one metric's change against a baseline report.
+type Delta struct {
+	Name   string
+	Metric string
+	Base   float64
+	New    float64
+	Ratio  float64 // New / Base
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (x%.3f)", d.Name, d.Metric, d.Base, d.New, d.Ratio)
+}
+
+// compareMetrics are the metrics Compare tracks, in report order.
+var compareMetrics = []struct {
+	name string
+	get  func(Result) float64
+}{
+	{"wall_ns", func(r Result) float64 { return float64(r.WallNS) }},
+	{"lat_mean_ns", func(r Result) float64 { return float64(r.LatMeanNS) }},
+	{"wire_bytes", func(r Result) float64 { return float64(r.WireBytes) }},
+	{"ctx_switches", func(r Result) float64 { return float64(r.CtxSwitches) }},
+	{"ops_per_sec", func(r Result) float64 { return r.OpsPerSec }},
+}
+
+// Compare reports per-scenario metric changes of r against a baseline,
+// matching scenarios by name. Only metrics whose relative change exceeds
+// tolerance are returned (tolerance 0 reports every changed metric).
+// Scenarios present in only one report are reported with Metric
+// "missing" and a zero Ratio.
+func Compare(baseline, r Report, tolerance float64) []Delta {
+	base := make(map[string]Result, len(baseline.Scenarios))
+	for _, s := range baseline.Scenarios {
+		base[s.Name] = s
+	}
+	var out []Delta
+	seen := make(map[string]bool, len(r.Scenarios))
+	for _, s := range r.Scenarios {
+		seen[s.Name] = true
+		b, ok := base[s.Name]
+		if !ok {
+			out = append(out, Delta{Name: s.Name, Metric: "missing-in-baseline"})
+			continue
+		}
+		for _, m := range compareMetrics {
+			bv, nv := m.get(b), m.get(s)
+			if bv == nv {
+				continue
+			}
+			ratio := 0.0
+			if bv != 0 {
+				ratio = nv / bv
+			}
+			rel := ratio - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if bv == 0 || rel > tolerance {
+				out = append(out, Delta{Name: s.Name, Metric: m.name, Base: bv, New: nv, Ratio: ratio})
+			}
+		}
+	}
+	for _, s := range baseline.Scenarios {
+		if !seen[s.Name] {
+			out = append(out, Delta{Name: s.Name, Metric: "missing-in-report"})
+		}
+	}
+	return out
+}
+
+// Summary renders a short human-readable table of the report (one line
+// per scenario) for terminals; the machine formats are JSON and CSV.
+func (r Report) Summary() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "grid %s: %d scenarios\n", r.Grid, len(r.Scenarios))
+	for _, s := range r.Scenarios {
+		status := "ok"
+		switch {
+		case s.Err != "":
+			status = "ERR " + s.Err
+		case s.DNF:
+			status = "DNF"
+		case len(s.Deviations) > 0:
+			status = fmt.Sprintf("%d band deviation(s)", len(s.Deviations))
+		}
+		fmt.Fprintf(&buf, "  %-36s wall=%-10v ops=%-6d lat=%-10v wire=%-8d %s\n",
+			s.Name, time.Duration(s.WallNS), s.Ops, time.Duration(s.LatMeanNS), s.WireBytes, status)
+	}
+	return buf.String()
+}

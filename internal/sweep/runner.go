@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes a grid of scenarios on a bounded worker pool. The
+// zero value uses one worker per available core.
+type Runner struct {
+	// Workers bounds concurrent scenarios (default GOMAXPROCS).
+	Workers int
+}
+
+// Timing carries the real-time measurements of a sweep execution. These
+// describe the sweep engine itself (how well it saturated the machine)
+// and are deliberately kept out of Report so reports stay deterministic.
+type Timing struct {
+	Workers int
+	// Elapsed is the real wall-clock time of the whole sweep.
+	Elapsed time.Duration
+	// Serial is the sum of per-scenario real run times — the wall time a
+	// one-worker execution would have needed.
+	Serial time.Duration
+	// Speedup is Serial / Elapsed: >1 means the pool overlapped work.
+	Speedup float64
+	// PerScenario holds each scenario's real run time, in grid order.
+	PerScenario []time.Duration
+}
+
+// Run executes every scenario and returns the deterministic Report
+// (results in grid order) plus the real-time Timing. Each scenario is a
+// sealed World on its own goroutine, so nothing about pool scheduling
+// can leak into the results.
+func (r Runner) Run(grid string, scs []Scenario) (Report, Timing) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]Result, len(scs))
+	times := make([]time.Duration, len(scs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				results[i] = scs[i].Run()
+				times[i] = time.Since(t0)
+			}
+		}()
+	}
+	for i := range scs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	tm := Timing{Workers: workers, Elapsed: time.Since(start), PerScenario: times}
+	for _, d := range times {
+		tm.Serial += d
+	}
+	if tm.Elapsed > 0 {
+		tm.Speedup = tm.Serial.Seconds() / tm.Elapsed.Seconds()
+	}
+	return Report{Grid: grid, Scenarios: results}, tm
+}

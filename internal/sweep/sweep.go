@@ -1,0 +1,303 @@
+// Package sweep is the reproduction's scenario-sweep engine: it defines
+// grids of independent simulation scenarios (protocol × page mode ×
+// fault semantics × server placement × loss rate × workload mix × host
+// count), runs each scenario's World on its own goroutine under a
+// bounded worker pool, and aggregates the results into deterministic
+// reports.
+//
+// Determinism is the load-bearing property: every scenario is a sealed
+// deterministic simulation keyed by its seed, and a Report contains only
+// virtual-time measurements, so the same grid and seed produce
+// byte-identical JSON/CSV output whether the sweep runs on one core or
+// all of them. Real-time measurements (how long the sweep itself took,
+// the parallel speedup) are returned separately in Timing and never
+// enter the Report.
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"mether/internal/analysis"
+	"mether/internal/core"
+	"mether/internal/ethernet"
+	"mether/internal/protocols"
+	"mether/internal/workload"
+)
+
+// Kind discriminates what a scenario runs.
+type Kind string
+
+// Scenario kinds.
+const (
+	// KindCounter is the paper's two-host synchronization counter
+	// (Figures 4-9); Protocol selects page mode and fault semantics.
+	KindCounter Kind = "counter"
+	// KindFanout is the one-writer/N-reader broadcast-scaling run.
+	KindFanout Kind = "fanout"
+	// KindPipe is the single-pipe message-mix throughput run.
+	KindPipe Kind = "pipe"
+	// KindHotspot is N hosts contending for one shared page.
+	KindHotspot Kind = "hotspot"
+	// KindBarrier is the N-host bulk-synchronous barrier-phase run.
+	KindBarrier Kind = "barrier"
+	// KindPipeline is the producer-consumer pipeline over Mether pipes.
+	KindPipeline Kind = "pipeline"
+)
+
+// Scenario is one point of a sweep grid: a named, fully parameterized,
+// independently runnable simulation. Zero-valued fields take the
+// underlying runner's defaults.
+type Scenario struct {
+	Name string
+	Kind Kind
+	Seed int64
+	// Cap bounds the simulated run (scenario-kind default when zero).
+	Cap time.Duration
+
+	// Counter parameters (KindCounter).
+	Protocol    protocols.Protocol
+	Target      uint32
+	HysteresisN int
+	SleepHyst   time.Duration
+	// Figure names an analysis figure whose paper bands the result is
+	// checked against ("" = no check). Checks only apply at the paper's
+	// full scale (Target 1024).
+	Figure string
+
+	// Fanout parameters (KindFanout).
+	FanoutMode protocols.FanoutMode
+	Readers    int
+	Updates    int
+
+	// Pipe-mix parameters (KindPipe).
+	Dist     workload.SizeDist
+	Messages int
+
+	// Hotspot / barrier / pipeline parameters.
+	Hosts     int
+	Iters     int
+	ShortPage bool
+	Phases    int
+	Stages    int
+	MsgSize   int
+
+	// Shared cost-model axes.
+	LossRate     float64
+	KernelServer bool
+}
+
+// Result is one scenario's aggregated measurements. Every field is a
+// pure function of the scenario definition and seed: durations are
+// virtual nanoseconds, never wall time. Fields irrelevant to a
+// scenario's kind are zero.
+type Result struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	Seed int64  `json:"seed"`
+	Err  string `json:"err,omitempty"`
+	DNF  bool   `json:"dnf,omitempty"`
+
+	WallNS    int64   `json:"wall_ns"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	LossWin   float64 `json:"loss_win,omitempty"`
+
+	UserNS      int64  `json:"user_ns"`
+	SysNS       int64  `json:"sys_ns"`
+	ServerNS    int64  `json:"server_ns"`
+	CtxSwitches uint64 `json:"ctx_switches"`
+
+	WireBytes      uint64  `json:"wire_bytes"`
+	Packets        uint64  `json:"packets"`
+	NetBytesPerSec float64 `json:"net_bytes_per_sec"`
+
+	LatMeanNS int64  `json:"lat_mean_ns"`
+	LatP50NS  int64  `json:"lat_p50_ns"`
+	LatP90NS  int64  `json:"lat_p90_ns"`
+	LatMaxNS  int64  `json:"lat_max_ns"`
+	LatCount  uint64 `json:"lat_count"`
+
+	// Deviations lists paper-band violations when the scenario carries a
+	// Figure reference; empty means all checked cells agree.
+	Deviations []string `json:"deviations,omitempty"`
+}
+
+// netParams builds the Ethernet model for a scenario's loss-rate axis.
+func (s Scenario) netParams() ethernet.Params {
+	np := ethernet.DefaultParams()
+	np.LossRate = s.LossRate
+	return np
+}
+
+// coreConfig builds the driver model for the server-placement axis.
+func (s Scenario) coreConfig() core.Config {
+	cc := core.DefaultConfig(8)
+	cc.KernelServer = s.KernelServer
+	return cc
+}
+
+// CounterConfig assembles the protocols.Config a KindCounter scenario
+// runs; exported so benches and cmd/metherbench drive the exact same
+// configuration the sweep engine does.
+func (s Scenario) CounterConfig() protocols.Config {
+	return protocols.Config{
+		Protocol:        s.Protocol,
+		Target:          s.Target,
+		HysteresisN:     s.HysteresisN,
+		SleepHysteresis: s.SleepHyst,
+		Cap:             s.Cap,
+		Seed:            s.Seed,
+		NetParams:       s.netParams(),
+		Core:            s.coreConfig(),
+	}
+}
+
+// Run executes one scenario to completion and aggregates its Result.
+// Errors are folded into Result.Err so one failing cell never aborts a
+// whole sweep.
+func (s Scenario) Run() Result {
+	res := Result{Name: s.Name, Kind: s.Kind, Seed: s.Seed}
+	switch s.Kind {
+	case KindCounter:
+		r, err := protocols.Run(s.CounterConfig())
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.DNF = r.DNF
+		res.WallNS = int64(r.Wall)
+		res.Ops = uint64(r.Additions)
+		res.LossWin = r.LossWin
+		res.UserNS = int64(r.User)
+		res.SysNS = int64(r.Sys)
+		res.ServerNS = int64(r.SysServer)
+		res.CtxSwitches = r.CtxSwitches
+		res.WireBytes = r.NetBytes
+		res.Packets = r.Packets
+		res.NetBytesPerSec = r.NetBytesPerSec
+		res.LatMeanNS = int64(r.AvgLatency)
+		res.LatP50NS = int64(r.LatP50)
+		res.LatP90NS = int64(r.LatP90)
+		res.LatMaxNS = int64(r.LatMax)
+		res.LatCount = r.LatCount
+		if r.Wall > 0 {
+			res.OpsPerSec = float64(r.Additions) / r.Wall.Seconds()
+		}
+		if s.Figure != "" && s.Target == 1024 {
+			res.Deviations = bandCheck(s.Figure, r)
+		}
+	case KindFanout:
+		r, err := protocols.RunFanout(protocols.FanoutConfig{
+			Mode: s.FanoutMode, Readers: s.Readers, Updates: s.Updates,
+			Seed: s.Seed, Cap: s.Cap,
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.WallNS = int64(r.Wall)
+		res.Ops = uint64(r.Updates)
+		res.UserNS = int64(r.WriterCPU)
+		res.WireBytes = r.NetBytes
+		res.Packets = r.Packets
+		if r.Wall > 0 {
+			res.OpsPerSec = float64(r.Updates) / r.Wall.Seconds()
+			res.NetBytesPerSec = float64(r.NetBytes) / r.Wall.Seconds()
+		}
+	case KindPipe:
+		r, err := workload.Run(workload.Config{
+			Dist: s.Dist, Messages: s.Messages, Seed: s.Seed, Cap: s.Cap,
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.WallNS = int64(r.Wall)
+		res.Ops = uint64(r.Messages)
+		res.OpsPerSec = r.MsgsPerSec
+		res.WireBytes = r.WireBytes
+		res.Packets = r.Packets
+		if r.Wall > 0 {
+			res.NetBytesPerSec = float64(r.WireBytes) / r.Wall.Seconds()
+		}
+	case KindHotspot:
+		r, err := workload.RunHotspot(workload.HotspotConfig{
+			Hosts: s.Hosts, Iters: s.Iters, ShortPage: s.ShortPage,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.DNF = r.DNF
+		res.Ops = r.Updates
+		res.fillCluster(r.ClusterStats)
+	case KindBarrier:
+		r, err := workload.RunBarrier(workload.BarrierConfig{
+			Hosts: s.Hosts, Phases: s.Phases,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.DNF = r.DNF
+		res.Ops = uint64(r.Phases)
+		res.fillCluster(r.ClusterStats)
+	case KindPipeline:
+		r, err := workload.RunPipeline(workload.PipelineConfig{
+			Stages: s.Stages, Messages: s.Messages, Size: s.MsgSize,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.DNF = r.DNF
+		res.Ops = uint64(r.Delivered)
+		res.OpsPerSec = r.MsgsPerSec
+		res.fillCluster(r.ClusterStats)
+	default:
+		res.Err = fmt.Sprintf("sweep: unknown scenario kind %q", s.Kind)
+	}
+	return res
+}
+
+// fillCluster copies the shared cluster measurements into the result.
+func (r *Result) fillCluster(cs workload.ClusterStats) {
+	r.WallNS = int64(cs.Wall)
+	r.UserNS = int64(cs.UserCPU)
+	r.SysNS = int64(cs.SysCPU)
+	r.ServerNS = int64(cs.ServerCPU)
+	r.CtxSwitches = cs.CtxSwitches
+	r.WireBytes = cs.WireBytes
+	r.Packets = cs.Packets
+	r.LatMeanNS = int64(cs.LatMean)
+	r.LatP50NS = int64(cs.LatP50)
+	r.LatP90NS = int64(cs.LatP90)
+	r.LatMaxNS = int64(cs.LatMax)
+	r.LatCount = cs.LatCount
+	if cs.Wall > 0 {
+		if r.Ops > 0 && r.OpsPerSec == 0 {
+			r.OpsPerSec = float64(r.Ops) / cs.Wall.Seconds()
+		}
+		r.NetBytesPerSec = float64(cs.WireBytes) / cs.Wall.Seconds()
+	}
+}
+
+// bandCheck compares a full-scale counter report against the named
+// paper figure's agreement bands.
+func bandCheck(figure string, r protocols.Report) []string {
+	for _, f := range analysis.Figures() {
+		if f.Name != figure {
+			continue
+		}
+		var out []string
+		for _, d := range analysis.CheckReport(f, r) {
+			out = append(out, d.String())
+		}
+		return out
+	}
+	return []string{fmt.Sprintf("unknown figure %q", figure)}
+}

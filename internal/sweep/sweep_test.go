@@ -1,0 +1,235 @@
+package sweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"mether/internal/protocols"
+)
+
+func TestGridNamesAllBuild(t *testing.T) {
+	for _, name := range GridNames() {
+		scs, err := Grid(name, Options{Target: 64})
+		if err != nil {
+			t.Fatalf("Grid(%q): %v", name, err)
+		}
+		if len(scs) == 0 {
+			t.Errorf("grid %q is empty", name)
+		}
+		seen := make(map[string]bool)
+		for _, s := range scs {
+			if s.Name == "" || s.Kind == "" {
+				t.Errorf("grid %q has an unnamed scenario: %+v", name, s)
+			}
+			if seen[s.Name] {
+				t.Errorf("grid %q duplicates scenario name %q", name, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	}
+}
+
+func TestGridUnknownName(t *testing.T) {
+	if _, err := Grid("no-such-grid", Options{}); err == nil {
+		t.Error("unknown grid should error")
+	}
+}
+
+func TestPaperGridIsLargeEnough(t *testing.T) {
+	// The sweep's reason to exist: many-scenario grids. "paper" and
+	// "all" must both exceed a dozen scenarios.
+	for _, name := range []string{"paper", "all"} {
+		scs, err := Grid(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scs) < 12 {
+			t.Errorf("grid %q has %d scenarios, want >= 12", name, len(scs))
+		}
+	}
+}
+
+func TestRunnerRunsAllScenarios(t *testing.T) {
+	scs, err := Grid("smoke", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, tm := Runner{Workers: 4}.Run("smoke", scs)
+	if len(rep.Scenarios) != len(scs) {
+		t.Fatalf("got %d results for %d scenarios", len(rep.Scenarios), len(scs))
+	}
+	for i, r := range rep.Scenarios {
+		if r.Name != scs[i].Name {
+			t.Errorf("result %d is %q, want grid order %q", i, r.Name, scs[i].Name)
+		}
+		if r.Err != "" {
+			t.Errorf("%s failed: %s", r.Name, r.Err)
+		}
+		if r.WallNS <= 0 || r.Ops == 0 {
+			t.Errorf("%s: implausible result %+v", r.Name, r)
+		}
+	}
+	if tm.Workers < 1 || tm.Elapsed <= 0 || tm.Serial <= 0 {
+		t.Errorf("implausible timing %+v", tm)
+	}
+	if len(tm.PerScenario) != len(scs) {
+		t.Errorf("timing has %d per-scenario entries, want %d", len(tm.PerScenario), len(scs))
+	}
+}
+
+func TestRunnerFoldsScenarioErrors(t *testing.T) {
+	scs := []Scenario{
+		{Name: "bad-kind", Kind: Kind("nope")},
+		{Name: "bad-hotspot", Kind: KindHotspot, Hosts: 1, Iters: 1},
+		{Name: "good", Kind: KindCounter, Protocol: protocols.P5Final, Target: 16, Seed: 1},
+	}
+	rep, _ := Runner{Workers: 2}.Run("errs", scs)
+	if rep.Scenarios[0].Err == "" || rep.Scenarios[1].Err == "" {
+		t.Error("bad scenarios should carry errors")
+	}
+	if rep.Scenarios[2].Err != "" {
+		t.Errorf("good scenario failed: %s", rep.Scenarios[2].Err)
+	}
+}
+
+func TestCounterConfigCarriesAxes(t *testing.T) {
+	s := Scenario{
+		Kind: KindCounter, Protocol: protocols.P2ShortPage, Target: 128,
+		Seed: 9, LossRate: 0.01, KernelServer: true, HysteresisN: 7,
+		Cap: 3 * time.Second,
+	}
+	cfg := s.CounterConfig()
+	if cfg.Protocol != protocols.P2ShortPage || cfg.Target != 128 || cfg.Seed != 9 {
+		t.Errorf("basic fields lost: %+v", cfg)
+	}
+	if cfg.NetParams.LossRate != 0.01 {
+		t.Errorf("loss axis lost: %v", cfg.NetParams.LossRate)
+	}
+	if !cfg.Core.KernelServer {
+		t.Error("kernel-server axis lost")
+	}
+	if cfg.HysteresisN != 7 || cfg.Cap != 3*time.Second {
+		t.Errorf("tuning lost: %+v", cfg)
+	}
+}
+
+func TestBandCheckUnknownFigure(t *testing.T) {
+	devs := bandCheck("Figure 99", protocols.Report{})
+	if len(devs) != 1 || !strings.Contains(devs[0], "unknown figure") {
+		t.Errorf("devs = %v", devs)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := Report{Grid: "g", Scenarios: []Result{
+		{Name: "a", Kind: KindCounter, Seed: 1, WallNS: 10, Ops: 2, Deviations: []string{"x"}},
+	}}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != "g" || len(got.Scenarios) != 1 || got.Scenarios[0].Name != "a" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if !json.Valid(b) {
+		t.Error("JSON() produced invalid JSON")
+	}
+}
+
+func TestParseJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSON([]byte("{nope")); err == nil {
+		t.Error("garbage baseline should error")
+	}
+}
+
+func TestReportCSVShape(t *testing.T) {
+	rep := Report{Grid: "g", Scenarios: []Result{
+		{Name: "with,comma", Kind: KindPipe, Seed: 1},
+		{Name: "plain", Kind: KindCounter, Seed: 2, Err: "boom"},
+	}}
+	lines := strings.Split(strings.TrimRight(string(rep.CSV()), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+	wantCols := len(strings.Split(lines[0], ","))
+	if !strings.HasPrefix(lines[1], "\"with,comma\"") {
+		t.Errorf("comma name not quoted: %s", lines[1])
+	}
+	if got := len(strings.Split(lines[2], ",")); got != wantCols {
+		t.Errorf("row has %d cols, header %d", got, wantCols)
+	}
+}
+
+func TestCSVQuoteRFC4180(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"a,b", `"a,b"`},
+		{`say "hi"`, `"say ""hi"""`},
+		{"two\nlines", "\"two\nlines\""},
+	}
+	for _, c := range cases {
+		if got := csvQuote(c.in); got != c.want {
+			t.Errorf("csvQuote(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	// A deviation containing %q-style quotes must survive a CSV parse:
+	// quotes are doubled, not backslash-escaped.
+	rep := Report{Scenarios: []Result{{Name: "x", Deviations: []string{`unknown figure "F"`}}}}
+	csv := string(rep.CSV())
+	if !strings.Contains(csv, `"unknown figure ""F"""`) {
+		t.Errorf("deviation not RFC-4180 quoted:\n%s", csv)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Report{Scenarios: []Result{
+		{Name: "a", WallNS: 100, WireBytes: 50},
+		{Name: "gone", WallNS: 1},
+	}}
+	cur := Report{Scenarios: []Result{
+		{Name: "a", WallNS: 150, WireBytes: 50},
+		{Name: "new", WallNS: 1},
+	}}
+	deltas := Compare(base, cur, 0)
+	var metrics []string
+	for _, d := range deltas {
+		metrics = append(metrics, d.Name+"/"+d.Metric)
+	}
+	joined := strings.Join(metrics, " ")
+	for _, want := range []string{"a/wall_ns", "new/missing-in-baseline", "gone/missing-in-report"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("deltas %v missing %s", metrics, want)
+		}
+	}
+	for _, d := range deltas {
+		if d.Metric == "wall_ns" && d.Ratio != 1.5 {
+			t.Errorf("wall ratio = %v, want 1.5", d.Ratio)
+		}
+		if d.Metric == "wire_bytes" {
+			t.Error("unchanged metric reported")
+		}
+	}
+	// Within tolerance: the 1.5x wall change is suppressed at 60%.
+	if ds := Compare(base, cur, 0.6); len(ds) != 2 {
+		t.Errorf("tolerant compare = %v, want only the missing pair", ds)
+	}
+}
+
+func TestFigureScenariosBandCheckedAtPaperScale(t *testing.T) {
+	full := FigureScenarios(Options{Target: 1024})
+	banded := 0
+	for _, s := range full {
+		if s.Figure != "" {
+			banded++
+		}
+	}
+	if banded != 4 {
+		t.Errorf("%d banded figures, want 4 (Figs 4, 5, 8, 9)", banded)
+	}
+}

@@ -1,0 +1,546 @@
+// Scenario workloads beyond the single-pipe throughput run: the hotspot,
+// barrier-phase and producer-consumer-pipeline patterns the sweep engine
+// measures across its parameter grids. Each is a self-contained World
+// run returning a report of virtual-time metrics only, so a fixed seed
+// always yields an identical report regardless of the real scheduler.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mether"
+	"mether/internal/ethernet"
+	"mether/internal/stats"
+	"mether/pipe"
+)
+
+// ClusterStats aggregates the cluster-wide measurements every scenario
+// reports: virtual wall time, host load (CPU split and context
+// switches), network load (wire bytes and frames) and the fault-latency
+// distribution. All durations are virtual nanoseconds.
+type ClusterStats struct {
+	Wall        time.Duration
+	UserCPU     time.Duration // client-process user time, all hosts
+	SysCPU      time.Duration // client-process system time, all hosts
+	ServerCPU   time.Duration // Mether server CPU (user-level or kernel)
+	CtxSwitches uint64
+	WireBytes   uint64
+	Packets     uint64
+	LatMean     time.Duration
+	LatP50      time.Duration
+	LatP90      time.Duration
+	LatMax      time.Duration
+	LatCount    uint64
+}
+
+// collectCluster harvests ClusterStats from a finished world. extra is
+// merged into the drivers' fault-latency histogram when non-nil (for
+// scenarios that measure an application-level latency instead).
+func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) ClusterStats {
+	cs := ClusterStats{Wall: end}
+	for i := 0; i < w.NumHosts(); i++ {
+		cs.CtxSwitches += w.ContextSwitches(i)
+		cs.ServerCPU += w.Driver(i).Metrics().KernelTime
+		for _, p := range w.HostMachine(i).Procs() {
+			if p.Name() == "metherd" {
+				cs.ServerCPU += p.User() + p.Sys()
+			} else {
+				cs.UserCPU += p.User()
+				cs.SysCPU += p.Sys()
+			}
+		}
+	}
+	ns := w.NetStats()
+	cs.WireBytes = ns.WireBytes
+	cs.Packets = ns.Frames
+
+	var lat stats.Histogram
+	if extra != nil {
+		lat.Merge(extra)
+	} else {
+		for i := 0; i < w.NumHosts(); i++ {
+			lat.Merge(&w.Driver(i).Metrics().FaultLatency)
+		}
+	}
+	cs.LatMean = lat.Mean()
+	cs.LatP50 = lat.Quantile(0.5)
+	cs.LatP90 = lat.Quantile(0.9)
+	cs.LatMax = lat.Max()
+	cs.LatCount = lat.Count()
+	return cs
+}
+
+// HotspotConfig parameterizes a hot-page contention run: every host
+// repeatedly updates its own word of one shared consistent page, so the
+// single consistent copy bounces between all hosts.
+type HotspotConfig struct {
+	// Hosts is the cluster size (default 4; at most 8 with ShortPage,
+	// since the 32-byte short region holds eight words).
+	Hosts int
+	// Iters is the per-host update count (default 32).
+	Iters int
+	// ShortPage selects the 32-byte view (the paper's fast path); when
+	// false every bounce moves the full 8 KiB page.
+	ShortPage bool
+	// IncCost is the CPU cost per update (default 50 µs).
+	IncCost time.Duration
+	Seed    int64
+	Cap     time.Duration
+	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
+	NetParams ethernet.Params
+}
+
+// HotspotReport is the hotspot run's measurements.
+type HotspotReport struct {
+	Hosts   int
+	Iters   int
+	Short   bool
+	Updates uint64 // total updates completed
+	DNF     bool
+	ClusterStats
+}
+
+func (c HotspotConfig) withDefaults() (HotspotConfig, error) {
+	if c.Hosts == 0 {
+		c.Hosts = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 32
+	}
+	if c.IncCost == 0 {
+		c.IncCost = 50 * time.Microsecond
+	}
+	if c.Cap == 0 {
+		c.Cap = 10 * time.Minute
+	}
+	if c.Hosts < 2 {
+		return c, fmt.Errorf("workload: hotspot needs at least 2 hosts")
+	}
+	if c.ShortPage && c.Hosts > 8 {
+		return c, fmt.Errorf("workload: short hotspot page holds 8 word slots, got %d hosts", c.Hosts)
+	}
+	if c.Hosts*4 > mether.PageSize {
+		return c, fmt.Errorf("workload: hotspot page holds %d word slots, got %d hosts", mether.PageSize/4, c.Hosts)
+	}
+	return c, nil
+}
+
+// RunHotspot measures N hosts contending for one shared writable page.
+func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return HotspotReport{}, err
+	}
+	w := mether.NewWorld(mether.Config{Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	defer w.Shutdown()
+	seg, err := w.CreateSegment("hotspot", 1, 0)
+	if err != nil {
+		return HotspotReport{}, err
+	}
+	capRW := seg.CapRW()
+
+	done := make([]bool, cfg.Hosts)
+	errs := make([]error, cfg.Hosts)
+	var updates uint64
+	var lastFinish time.Duration
+	for i := 0; i < cfg.Hosts; i++ {
+		i := i
+		w.Spawn(i, fmt.Sprintf("hot%d", i), func(env *mether.Env) {
+			m, err := env.Attach(capRW, mether.RW)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			a := m.Addr(0, 4*i)
+			if cfg.ShortPage {
+				a = a.Short()
+			}
+			for n := 0; n < cfg.Iters; n++ {
+				env.Compute(cfg.IncCost)
+				v, err := m.Load32(a)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := m.Store32(a, v+1); err != nil {
+					errs[i] = err
+					return
+				}
+				updates++
+			}
+			done[i] = true
+			if t := env.Now(); t > lastFinish {
+				lastFinish = t
+			}
+		})
+	}
+	w.RunUntil(cfg.Cap)
+	for _, err := range errs {
+		if err != nil {
+			return HotspotReport{}, err
+		}
+	}
+	r := HotspotReport{Hosts: cfg.Hosts, Iters: cfg.Iters, Short: cfg.ShortPage, Updates: updates}
+	for _, d := range done {
+		if !d {
+			r.DNF = true
+			lastFinish = w.Now()
+		}
+	}
+	r.ClusterStats = collectCluster(w, lastFinish, nil)
+	return r, nil
+}
+
+// BarrierConfig parameterizes a bulk-synchronous run: every host
+// computes a local phase, announces arrival by writing its own
+// stationary page and broadcasting a PURGE, then waits until every peer
+// page shows the same phase (the paper's final-protocol shape, N ways).
+type BarrierConfig struct {
+	// Hosts is the cluster size (default 4).
+	Hosts int
+	// Phases is the number of barrier rounds (default 8).
+	Phases int
+	// Work is the mean local compute per phase (default 2 ms). Actual
+	// per-host, per-phase work is drawn uniformly from [Work/2, 3Work/2]
+	// with the run's seed, modelling skew.
+	Work time.Duration
+	// HysteresisPurge is how many stale reads a waiter tolerates before
+	// purging the peer copy to force a fresh fetch (default 4).
+	HysteresisPurge int
+	Seed            int64
+	Cap             time.Duration
+	NetParams       ethernet.Params
+}
+
+// BarrierReport is the barrier run's measurements. The latency fields of
+// ClusterStats hold the barrier-wait distribution: time from a host's
+// own arrival to its release, one sample per host per phase.
+type BarrierReport struct {
+	Hosts  int
+	Phases int
+	DNF    bool
+	ClusterStats
+}
+
+func (c BarrierConfig) withDefaults() (BarrierConfig, error) {
+	if c.Hosts == 0 {
+		c.Hosts = 4
+	}
+	if c.Phases == 0 {
+		c.Phases = 8
+	}
+	if c.Work == 0 {
+		c.Work = 2 * time.Millisecond
+	}
+	if c.HysteresisPurge == 0 {
+		c.HysteresisPurge = 4
+	}
+	if c.Cap == 0 {
+		c.Cap = 10 * time.Minute
+	}
+	if c.Hosts < 2 {
+		return c, fmt.Errorf("workload: barrier needs at least 2 hosts")
+	}
+	return c, nil
+}
+
+// RunBarrier measures Phases rounds of an N-host barrier built from
+// stationary per-host pages.
+func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return BarrierReport{}, err
+	}
+	pages := cfg.Hosts
+	if pages < 8 {
+		pages = 8
+	}
+	w := mether.NewWorld(mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	defer w.Shutdown()
+	owners := make([]int, cfg.Hosts)
+	for i := range owners {
+		owners[i] = i
+	}
+	seg, err := w.CreateSegmentOwners("barrier", owners)
+	if err != nil {
+		return BarrierReport{}, err
+	}
+	capRW := seg.CapRW()
+
+	// Pre-draw the per-host, per-phase work so the schedule is a pure
+	// function of the seed.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	work := make([][]time.Duration, cfg.Hosts)
+	for i := range work {
+		work[i] = make([]time.Duration, cfg.Phases)
+		for p := range work[i] {
+			half := int64(cfg.Work) / 2
+			work[i][p] = cfg.Work/2 + time.Duration(rng.Int63n(2*half+1))
+		}
+	}
+
+	done := make([]bool, cfg.Hosts)
+	errs := make([]error, cfg.Hosts)
+	waitHist := make([]stats.Histogram, cfg.Hosts)
+	var lastFinish time.Duration
+	for i := 0; i < cfg.Hosts; i++ {
+		i := i
+		w.Spawn(i, fmt.Sprintf("bsp%d", i), func(env *mether.Env) {
+			errs[i] = barrierClient(env, capRW, cfg, i, work[i], &waitHist[i])
+			if errs[i] == nil {
+				done[i] = true
+				if t := env.Now(); t > lastFinish {
+					lastFinish = t
+				}
+			}
+		})
+	}
+	w.RunUntil(cfg.Cap)
+	for _, err := range errs {
+		if err != nil {
+			return BarrierReport{}, err
+		}
+	}
+	r := BarrierReport{Hosts: cfg.Hosts, Phases: cfg.Phases}
+	for _, d := range done {
+		if !d {
+			r.DNF = true
+			lastFinish = w.Now()
+		}
+	}
+	var lat stats.Histogram
+	for i := range waitHist {
+		lat.Merge(&waitHist[i])
+	}
+	r.ClusterStats = collectCluster(w, lastFinish, &lat)
+	return r, nil
+}
+
+// barrierClient is one host's compute/arrive/wait loop.
+func barrierClient(env *mether.Env, cap mether.Capability, cfg BarrierConfig, id int, work []time.Duration, hist *stats.Histogram) error {
+	own, err := env.Attach(cap, mether.RW)
+	if err != nil {
+		return err
+	}
+	peers, err := env.Attach(cap.ReadOnly(), mether.RO)
+	if err != nil {
+		return err
+	}
+	ownAddr := own.Addr(id, 0).Short()
+	for phase := 0; phase < cfg.Phases; phase++ {
+		env.Compute(work[phase])
+		want := uint32(phase + 1)
+		if err := own.Store32(ownAddr, want); err != nil {
+			return err
+		}
+		// Passive update: one broadcast refreshes every waiter's copy.
+		if err := own.Purge(ownAddr); err != nil {
+			return err
+		}
+		arrived := env.Now()
+		for j := 0; j < cfg.Hosts; j++ {
+			if j == id {
+				continue
+			}
+			pa := peers.Addr(j, 0).Short()
+			stale := 0
+			for {
+				env.Compute(10 * time.Microsecond)
+				v, err := peers.Load32(pa)
+				if err != nil {
+					return err
+				}
+				if v >= want {
+					break
+				}
+				stale++
+				if stale >= cfg.HysteresisPurge {
+					stale = 0
+					// Force a fresh demand fetch from the owner; unlike a
+					// data-driven block this cannot miss a broadcast that
+					// already transited.
+					if err := peers.Purge(pa); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		hist.Observe(env.Now() - arrived)
+	}
+	return nil
+}
+
+// PipelineConfig parameterizes a producer-consumer pipeline: Stages
+// hosts connected by Mether pipes, messages flowing from stage 0 through
+// every stage to the sink, each stage spending StageCost per message.
+type PipelineConfig struct {
+	// Stages is the number of hosts in the chain (default 3, min 2).
+	Stages int
+	// Messages is how many messages the source produces (default 16).
+	Messages int
+	// Size is the payload size in bytes (default 8, the control-message
+	// fast path; sizes above pipe.ShortPayload exercise full pages).
+	Size int
+	// StageCost is the per-message compute at every stage (default 200 µs).
+	StageCost time.Duration
+	Seed      int64
+	Cap       time.Duration
+	NetParams ethernet.Params
+}
+
+// PipelineReport is the pipeline run's measurements. The latency fields
+// of ClusterStats hold the end-to-end message latency distribution
+// (source hand-off to sink receipt).
+type PipelineReport struct {
+	Stages     int
+	Messages   int
+	Size       int
+	Delivered  int
+	DNF        bool
+	MsgsPerSec float64
+	ClusterStats
+}
+
+func (c PipelineConfig) withDefaults() (PipelineConfig, error) {
+	if c.Stages == 0 {
+		c.Stages = 3
+	}
+	if c.Messages == 0 {
+		c.Messages = 16
+	}
+	if c.Size == 0 {
+		c.Size = 8
+	}
+	if c.StageCost == 0 {
+		c.StageCost = 200 * time.Microsecond
+	}
+	if c.Cap == 0 {
+		c.Cap = 10 * time.Minute
+	}
+	if c.Stages < 2 {
+		return c, fmt.Errorf("workload: pipeline needs at least 2 stages")
+	}
+	if c.Size > pipe.MaxPayload {
+		return c, fmt.Errorf("workload: pipeline message %d bytes exceeds %d", c.Size, pipe.MaxPayload)
+	}
+	return c, nil
+}
+
+// RunPipeline measures a Stages-host producer-consumer pipeline.
+func RunPipeline(cfg PipelineConfig) (PipelineReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return PipelineReport{}, err
+	}
+	pages := 2 * (cfg.Stages - 1)
+	if pages < 8 {
+		pages = 8
+	}
+	w := mether.NewWorld(mether.Config{Hosts: cfg.Stages, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	defer w.Shutdown()
+	caps := make([]mether.Capability, cfg.Stages-1)
+	for i := range caps {
+		caps[i], err = pipe.Create(w, fmt.Sprintf("stage%d", i), i, i+1)
+		if err != nil {
+			return PipelineReport{}, err
+		}
+	}
+
+	errs := make([]error, cfg.Stages)
+	sentAt := make([]time.Duration, cfg.Messages)
+	var lat stats.Histogram
+	delivered := 0
+	var lastFinish time.Duration
+	payload := make([]byte, cfg.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// Source.
+	w.Spawn(0, "source", func(env *mether.Env) {
+		p, err := pipe.Open(env, caps[0], 0)
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		for m := 0; m < cfg.Messages; m++ {
+			env.Compute(cfg.StageCost)
+			sentAt[m] = env.Now()
+			if err := p.Send(uint32(m), payload); err != nil {
+				errs[0] = err
+				return
+			}
+		}
+	})
+	// Interior stages forward.
+	for s := 1; s < cfg.Stages-1; s++ {
+		s := s
+		w.Spawn(s, fmt.Sprintf("stage%d", s), func(env *mether.Env) {
+			in, err := pipe.Open(env, caps[s-1], 1)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			out, err := pipe.Open(env, caps[s], 0)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for m := 0; m < cfg.Messages; m++ {
+				msg, err := in.Recv()
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				env.Compute(cfg.StageCost)
+				if err := out.Send(msg.Tag, msg.Data); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		})
+	}
+	// Sink.
+	sink := cfg.Stages - 1
+	w.Spawn(sink, "sink", func(env *mether.Env) {
+		p, err := pipe.Open(env, caps[sink-1], 1)
+		if err != nil {
+			errs[sink] = err
+			return
+		}
+		for m := 0; m < cfg.Messages; m++ {
+			msg, err := p.Recv()
+			if err != nil {
+				errs[sink] = err
+				return
+			}
+			if int(msg.Tag) != m || len(msg.Data) != cfg.Size {
+				errs[sink] = fmt.Errorf("workload: pipeline message %d arrived as tag %d, %d bytes", m, msg.Tag, len(msg.Data))
+				return
+			}
+			env.Compute(cfg.StageCost)
+			lat.Observe(env.Now() - sentAt[m])
+			delivered++
+			lastFinish = env.Now()
+		}
+	})
+
+	w.RunUntil(cfg.Cap)
+	for _, err := range errs {
+		if err != nil {
+			return PipelineReport{}, err
+		}
+	}
+	r := PipelineReport{Stages: cfg.Stages, Messages: cfg.Messages, Size: cfg.Size, Delivered: delivered}
+	if delivered != cfg.Messages {
+		r.DNF = true
+		lastFinish = w.Now()
+	}
+	r.ClusterStats = collectCluster(w, lastFinish, &lat)
+	if lastFinish > 0 {
+		r.MsgsPerSec = stats.Rate(uint64(delivered), lastFinish)
+	}
+	return r, nil
+}

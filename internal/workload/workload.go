@@ -85,6 +85,7 @@ type Report struct {
 	MsgsPerSec  float64
 	BytesPerSec float64
 	WireBytes   uint64
+	Packets     uint64
 	// ShortRatio is the fraction of messages that fit the short path.
 	ShortRatio float64
 }
@@ -172,6 +173,7 @@ func Run(cfg Config) (Report, error) {
 		Bytes:      total,
 		Wall:       end,
 		WireBytes:  w.NetStats().WireBytes,
+		Packets:    w.NetStats().Frames,
 		ShortRatio: float64(short) / float64(cfg.Messages),
 	}
 	if end > 0 {
