@@ -1,18 +1,27 @@
 # Tier-1 verification and developer targets for the Mether reproduction.
 #
-#   make ci      - everything the tier-1 gate runs: format check, vet,
-#                  tests, race tests and a smoke sweep
-#   make test    - go build + go test ./...
-#   make race    - go test -race ./...
-#   make smoke   - a fast cross-section sweep through cmd/methersweep
-#   make sweep   - the full paper grid at scale 1024 (slow)
-#   make bench   - the figure benchmarks at reduced scale
+#   make ci           - everything the tier-1 gate runs: format check, vet,
+#                       tests, race tests, smoke sweep, a bench smoke pass
+#                       and a 16-host cluster smoke sweep
+#   make test         - go build + go test ./...
+#   make race         - go test -race ./...
+#   make smoke        - a fast cross-section sweep through cmd/methersweep
+#   make sweep        - the full paper grid at scale 1024 (slow)
+#   make cluster      - the 16/64/256-host cluster grid (slow)
+#   make bench        - the hot-path microbenchmarks (kernel dispatch,
+#                       bus broadcast, full counter runs) plus the figure
+#                       benchmarks at reduced scale
+#   make bench-smoke  - the microbenchmarks once (-benchtime=1x), as CI runs them
+#   make bench-record - regenerate BENCH_sweep.json, the engine-throughput
+#                       trajectory record (worlds/sec, events/sec, allocs/event)
 
 GO ?= go
 
-.PHONY: ci fmt-check vet test race smoke sweep bench
+MICROBENCH = BenchmarkKernelDispatch|BenchmarkKernelDispatchImmediate|BenchmarkKernelScheduleCancel|BenchmarkBusBroadcast|BenchmarkCounterRun
 
-ci: fmt-check vet test race smoke
+.PHONY: ci fmt-check vet test race smoke cluster-smoke sweep cluster bench bench-smoke bench-record
+
+ci: fmt-check vet test race smoke bench-smoke cluster-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,8 +40,21 @@ race:
 smoke:
 	$(GO) run ./cmd/methersweep -grid smoke -format summary
 
+cluster-smoke:
+	$(GO) run ./cmd/methersweep -grid cluster -hosts 16 -format summary
+
 sweep:
 	$(GO) run ./cmd/methersweep -grid paper -target 1024 -format summary
 
+cluster:
+	$(GO) run ./cmd/methersweep -grid cluster -format summary
+
 bench:
+	$(GO) test -run - -bench '$(MICROBENCH)' ./internal/sim ./internal/ethernet ./internal/protocols
 	$(GO) test -run - -bench BenchmarkFigures -benchtime 1x .
+
+bench-smoke:
+	$(GO) test -run - -bench '$(MICROBENCH)' -benchtime 1x ./internal/sim ./internal/ethernet ./internal/protocols
+
+bench-record:
+	$(GO) run ./cmd/methersweep -grid cluster -bench-out BENCH_sweep.json -format summary

@@ -15,16 +15,22 @@
 //	methersweep -grid paper -target 1024 -o paper.json
 //	methersweep -grid paper -baseline paper.json -tolerance 0.05
 //	methersweep -grid all -workers 1 -format csv
+//	methersweep -grid cluster -hosts 16
+//	methersweep -grid cluster -bench-out BENCH_sweep.json -cpuprofile cpu.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"mether/internal/proto"
 	"mether/internal/sweep"
 )
 
@@ -35,12 +41,35 @@ var (
 	flagSerial    = flag.Bool("serial", false, "force one worker (baseline for speedup measurement)")
 	flagTarget    = flag.Uint("target", 1024, "counter target for protocol scenarios")
 	flagSeed      = flag.Int64("seed", 1, "simulation seed for every scenario")
+	flagHosts     = flag.Int("hosts", 0, "restrict host-count grids (cluster) to one size (0 = all)")
 	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
 	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
 	flagBaseline  = flag.String("baseline", "", "JSON report to compare against")
 	flagTolerance = flag.Float64("tolerance", 0, "relative change below which -baseline deltas are ignored")
 	flagQuiet     = flag.Bool("q", false, "suppress the timing summary on stderr")
+	flagCPUProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	flagMemProf   = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
+	flagBenchOut  = flag.String("bench-out", "", "write an engine-throughput record (worlds/sec, events/sec, allocs/event) to this JSON file")
 )
+
+// benchRecord is the engine-throughput trajectory point -bench-out
+// writes: how fast this build chews through simulated worlds and events,
+// and what each event costs in allocations. Scenario results stay in the
+// report; this file is about the engine, so its fields are real-time
+// measurements and deliberately live outside Report.
+type benchRecord struct {
+	Grid           string  `json:"grid"`
+	Scenarios      int     `json:"scenarios"`
+	Workers        int     `json:"workers"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	WorldsPerSec   float64 `json:"worlds_per_sec"`
+	EventsTotal    uint64  `json:"events_total"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsTotal    uint64  `json:"allocs_total"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
 
 func main() {
 	flag.Parse()
@@ -61,7 +90,12 @@ func main() {
 	if *flagTarget > math.MaxUint32 {
 		fatal(fmt.Errorf("-target %d exceeds the 32-bit counter", *flagTarget))
 	}
-	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed})
+	// Reject before running: host ids must fit the wire format's 16-bit
+	// field, and a bad flag must not cost (or panic) a sweep.
+	if *flagHosts < 0 || *flagHosts > proto.MaxHostID {
+		fatal(fmt.Errorf("-hosts %d out of range (0..%d)", *flagHosts, proto.MaxHostID))
+	}
+	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts})
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +103,43 @@ func main() {
 	if *flagSerial {
 		workers = 1
 	}
+
+	// Every exit below goes through fatal() or exit(), both of which
+	// finalize the CPU profile: a deferred StopCPUProfile would be
+	// skipped by os.Exit, and the runs that fail (band deviations,
+	// baseline deltas) are exactly the ones worth profiling.
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
 	report, timing := sweep.Runner{Workers: workers}.Run(*flagGrid, scs)
+
+	if *flagBenchOut != "" {
+		if err := writeBenchRecord(*flagBenchOut, report, timing, msBefore); err != nil {
+			fatal(err)
+		}
+	}
+	if *flagMemProf != "" {
+		f, err := os.Create(*flagMemProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	var out []byte
 	switch *flagFormat {
@@ -136,11 +206,50 @@ func main() {
 		}
 	}
 	if failures > 0 {
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// writeBenchRecord aggregates the run's engine-throughput numbers and
+// writes the BENCH_sweep.json trajectory point.
+func writeBenchRecord(path string, report sweep.Report, timing sweep.Timing, before runtime.MemStats) error {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	rec := benchRecord{
+		Grid:        report.Grid,
+		Scenarios:   len(report.Scenarios),
+		Workers:     timing.Workers,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		ElapsedNS:   timing.Elapsed.Nanoseconds(),
+		AllocsTotal: after.Mallocs - before.Mallocs,
+	}
+	for _, s := range report.Scenarios {
+		rec.EventsTotal += s.Events
+	}
+	if sec := timing.Elapsed.Seconds(); sec > 0 {
+		rec.WorldsPerSec = float64(rec.Scenarios) / sec
+		rec.EventsPerSec = float64(rec.EventsTotal) / sec
+	}
+	if rec.EventsTotal > 0 {
+		rec.AllocsPerEvent = float64(rec.AllocsTotal) / float64(rec.EventsTotal)
+		rec.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(rec.EventsTotal)
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// exit finalizes any in-flight CPU profile (StopCPUProfile is a no-op
+// when none is running) and terminates; os.Exit skips deferred calls,
+// so non-zero exits must route through here.
+func exit(code int) {
+	pprof.StopCPUProfile()
+	os.Exit(code)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "methersweep:", err)
-	os.Exit(1)
+	exit(1)
 }

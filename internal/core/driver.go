@@ -73,14 +73,30 @@ type Driver struct {
 	h   *host.Host
 	nic *ethernet.NIC
 	cfg Config
-	id  int8
+	id  int16
 
-	pages     map[vm.PageID]*pageState
+	// pages is dense, indexed by PageID: the space is bounded by
+	// Config.NumPages, and a slice lookup on the fault/receive hot path
+	// beats a map probe. Entries are created lazily on first touch.
+	pages []*pageState
+	// workq is drained via workHead instead of re-slicing so the backing
+	// array is reused once the queue empties.
 	workq     []workItem
+	workHead  int
 	stopped   bool
 	server    *host.Proc
 	kDraining bool
 	m         Metrics
+	// txBuf is the reusable packet-encode scratch buffer: transmit
+	// encodes into it and the NIC copies it onto the (pooled) wire
+	// buffer, so steady-state sends do not allocate.
+	txBuf []byte
+	// serverKey, intrFn and stepFn are the pre-boxed wakeup key and the
+	// prebuilt closures for the frame-arrival and kernel-server drain
+	// paths.
+	serverKey any
+	intrFn    func()
+	stepFn    func()
 }
 
 type workKind uint8
@@ -100,16 +116,23 @@ type workItem struct {
 // New creates the driver for host h using NIC n. The NIC's interrupt
 // callback must be wired (by the caller) to d.FrameArrived.
 func New(h *host.Host, n *ethernet.NIC, cfg Config) *Driver {
-	if cfg.NumPages <= 0 || cfg.NumPages > addrPageMax {
+	if cfg.NumPages <= 0 || cfg.NumPages > addrPageMax || cfg.NumPages > proto.MaxPages {
 		panic(fmt.Sprintf("core: NumPages %d out of range", cfg.NumPages))
 	}
-	return &Driver{
+	if h.ID() > proto.MaxHostID {
+		panic(fmt.Sprintf("core: host id %d beyond the wire format's %d", h.ID(), proto.MaxHostID))
+	}
+	d := &Driver{
 		h:     h,
 		nic:   n,
 		cfg:   cfg,
-		id:    int8(h.ID()),
-		pages: make(map[vm.PageID]*pageState),
+		id:    int16(h.ID()),
+		pages: make([]*pageState, cfg.NumPages),
 	}
+	d.serverKey = serverKey{h.ID()}
+	d.intrFn = func() { d.h.Wakeup(d.serverKey) }
+	d.stepFn = func() { d.kernelStep() }
+	return d
 }
 
 // Host returns the driver's host.
@@ -127,16 +150,16 @@ func (d *Driver) FrameArrived() {
 		d.kernelKick(d.h.Params().InterruptCost)
 		return
 	}
-	d.h.Interrupt(func() { d.h.Wakeup(serverKey{d.h.ID()}) })
+	d.h.Interrupt(d.intrFn)
 }
 
 // page returns (creating lazily) the state for a page.
 func (d *Driver) page(id vm.PageID) *pageState {
-	if int(id) >= d.cfg.NumPages {
+	if int(id) >= len(d.pages) {
 		panic(fmt.Sprintf("core: page %d beyond configured space", id))
 	}
-	st, ok := d.pages[id]
-	if !ok {
+	st := d.pages[id]
+	if st == nil {
 		st = &pageState{page: id, frame: &vm.Frame{}, grantedTo: proto.NoOwner, grantedRestTo: proto.NoOwner}
 		d.pages[id] = st
 	}
@@ -363,7 +386,23 @@ func (d *Driver) enqueueWork(w workItem) {
 		d.kernelKick(0)
 		return
 	}
-	d.h.Wakeup(serverKey{d.h.ID()})
+	d.h.Wakeup(d.serverKey)
+}
+
+// dequeueWork pops the oldest pending work item. The backing array is
+// reused once the queue drains.
+func (d *Driver) dequeueWork() (workItem, bool) {
+	if d.workHead >= len(d.workq) {
+		return workItem{}, false
+	}
+	w := d.workq[d.workHead]
+	d.workq[d.workHead] = workItem{}
+	d.workHead++
+	if d.workHead == len(d.workq) {
+		d.workq = d.workq[:0]
+		d.workHead = 0
+	}
+	return w, true
 }
 
 // Load reads an integer of size 1, 2, 4 or 8 bytes through the given
@@ -581,8 +620,11 @@ func CheckInvariants(drivers ...*Driver) error {
 		id := vm.PageID(pg)
 		owners, restOwners := 0, 0
 		for _, d := range drivers {
-			st, ok := d.pages[id]
-			if !ok {
+			if int(id) >= len(d.pages) {
+				continue
+			}
+			st := d.pages[id]
+			if st == nil {
 				continue
 			}
 			if st.owner {

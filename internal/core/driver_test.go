@@ -659,7 +659,7 @@ func TestDuplicateGrantDoesNotRegressOwner(t *testing.T) {
 }
 
 // buildDataPacket encodes a TypeData packet for fault-injection tests.
-func buildDataPacket(t *testing.T, page vm.PageID, short bool, ownerTo int8, gen uint32, data []byte) []byte {
+func buildDataPacket(t *testing.T, page vm.PageID, short bool, ownerTo int16, gen uint32, data []byte) []byte {
 	t.Helper()
 	b, err := proto.Encode(proto.Packet{
 		Type: proto.TypeData, Page: page, Short: short,

@@ -49,24 +49,22 @@ func (d *Driver) kernelKick(after time.Duration) {
 		return
 	}
 	d.kDraining = true
-	d.h.Kernel().After(after, "mether kernel drain", func() { d.kernelStep() })
+	d.h.Kernel().After(after, "mether kernel drain", d.stepFn)
 }
 
 // kernelStep processes one pending item and reschedules itself.
 func (d *Driver) kernelStep() {
 	var kw kernelWorker
-	switch {
-	case d.drainFrame(&kw):
-	case len(d.workq) > 0:
-		w := d.workq[0]
-		d.workq = d.workq[1:]
-		d.handleWork(&kw, w)
-	default:
-		d.kDraining = false
-		return
+	if !d.drainFrame(&kw) {
+		if w, ok := d.dequeueWork(); ok {
+			d.handleWork(&kw, w)
+		} else {
+			d.kDraining = false
+			return
+		}
 	}
 	d.m.KernelTime += kw.used
-	d.h.Kernel().After(kw.used, "mether kernel next", func() { d.kernelStep() })
+	d.h.Kernel().After(kw.used, "mether kernel next", d.stepFn)
 }
 
 // drainFrame handles one received frame if available.
@@ -76,5 +74,6 @@ func (d *Driver) drainFrame(kw *kernelWorker) bool {
 		return false
 	}
 	d.handleFrame(kw, f)
+	d.nic.Release(f)
 	return true
 }

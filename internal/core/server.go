@@ -29,22 +29,23 @@ func (d *Driver) serve(p *host.Proc) {
 	for !d.stopped {
 		if f, ok := d.nic.Recv(); ok {
 			d.handleFrame(p, f)
+			// Everything needed from the frame has been copied into
+			// page frames, so the wire buffer can be recycled.
+			d.nic.Release(f)
 			continue
 		}
-		if len(d.workq) > 0 {
-			w := d.workq[0]
-			d.workq = d.workq[1:]
+		if w, ok := d.dequeueWork(); ok {
 			d.handleWork(p, w)
 			continue
 		}
-		p.SleepOn(serverKey{d.h.ID()})
+		p.SleepOn(d.serverKey)
 	}
 }
 
 // Stop makes the server exit at its next scheduling point.
 func (d *Driver) Stop() {
 	d.stopped = true
-	d.h.Wakeup(serverKey{d.h.ID()})
+	d.h.Wakeup(d.serverKey)
 }
 
 // handleWork processes one driver-originated work item.
@@ -202,28 +203,33 @@ func (d *Driver) serveRequest(p cpuSink, st *pageState, r deferredReq) {
 }
 
 // sendData broadcasts page bytes (the only way data ever moves). Every
-// TypeData transit refreshes all resident copies cluster-wide.
+// TypeData transit refreshes all resident copies cluster-wide. The
+// payload aliases the page frame (no snapshot copy): transmit encodes
+// it into the scratch buffer before anything else can run.
 func (d *Driver) sendData(p cpuSink, st *pageState, short bool, ownerTo int) {
-	data := st.frame.Snapshot(short)
 	pkt := proto.Packet{
 		Type:    proto.TypeData,
 		Page:    st.page,
 		Short:   short,
 		From:    d.id,
-		OwnerTo: int8(ownerTo),
+		OwnerTo: int16(ownerTo),
 		Gen:     uint32(st.frame.Gen()),
-		Data:    data,
+		Data:    st.frame.Region(short),
 	}
 	d.m.DataSent++
 	d.transmit(p, pkt)
 }
 
 // transmit encodes and sends one packet, charging the server's CPU cost.
+// Encoding reuses the driver's scratch buffer; the NIC copies the bytes
+// into its pooled wire buffer, so the scratch is free for the next send
+// as soon as Send returns.
 func (d *Driver) transmit(p cpuSink, pkt proto.Packet) {
-	buf, err := proto.Encode(pkt)
+	buf, err := proto.AppendEncode(d.txBuf[:0], pkt)
 	if err != nil {
 		panic("core: internal packet encode failure: " + err.Error())
 	}
+	d.txBuf = buf[:0]
 	p.UseSys(d.cfg.PacketCost + time.Duration(len(pkt.Data))*d.cfg.ByteCost)
 	d.nic.Send(ethernet.Broadcast, buf)
 }
@@ -320,7 +326,7 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 }
 
 // serveRestRequest answers a remainder fetch if we hold the authority.
-func (d *Driver) serveRestRequest(p cpuSink, st *pageState, from int8, reqID uint16) {
+func (d *Driver) serveRestRequest(p cpuSink, st *pageState, from int16, reqID uint16) {
 	if !st.restOwner {
 		if st.grantedRestTo == from && st.restPresent {
 			// Lost rest-grant retransmit.
@@ -338,14 +344,14 @@ func (d *Driver) serveRestRequest(p cpuSink, st *pageState, from int8, reqID uin
 	st.grantedRestTo = from
 }
 
-func (d *Driver) sendRestData(p cpuSink, st *pageState, to int8) {
+func (d *Driver) sendRestData(p cpuSink, st *pageState, to int16) {
 	out := proto.Packet{
 		Type:    proto.TypeRestData,
 		Page:    st.page,
 		From:    d.id,
 		OwnerTo: to,
 		Gen:     uint32(st.frame.Gen()),
-		Data:    st.frame.SnapshotRest(),
+		Data:    st.frame.RestRegion(),
 	}
 	d.m.RestSent++
 	d.transmit(p, out)

@@ -42,8 +42,8 @@ type pageState struct {
 	// grantedTo / grantedRestTo remember the last host each authority was
 	// granted to, so a lost grant can be retransmitted when the grantee
 	// asks again (datagram transport loses packets).
-	grantedTo     int8
-	grantedRestTo int8
+	grantedTo     int16
+	grantedRestTo int16
 
 	// installedAt is when ownership last arrived here. The server defers
 	// serving steal requests until MinResidency has elapsed, so the local
@@ -82,7 +82,7 @@ type pageState struct {
 }
 
 type deferredReq struct {
-	from  int8
+	from  int16
 	short bool
 	cons  bool
 	rest  bool // a rest-fetch rather than a page request

@@ -57,11 +57,12 @@ func (br *Bridge) pump(from, to *NIC, backlog *time.Duration) {
 		if !ok {
 			return
 		}
-		payload := f.Payload
-		dst := f.Dst
 		br.forwarded++
 		br.k.After(br.delay+*backlog, "bridge forward", func() {
-			to.Send(dst, payload)
+			// Send copies the payload into the destination segment's
+			// pool, so the source buffer can be recycled afterwards.
+			to.Send(f.Dst, f.Payload)
+			from.Release(f)
 		})
 	}
 }

@@ -7,6 +7,14 @@
 // rather than via CSMA/CD contention — because the paper's protocols are
 // sensitive to bandwidth, per-packet cost, broadcast fan-out and loss,
 // not to collision micro-behaviour.
+//
+// The data path is pooled: payload buffers are refcounted and recycled
+// through a per-bus freelist, and each NIC's receive ring is a fixed
+// circular buffer sized at attach time, so steady-state traffic does not
+// allocate. Receivers that are done with a frame should hand it back
+// with NIC.Release; receivers that never release (taps, tests) merely
+// opt out of recycling — the shared buffer is garbage collected once
+// every holder drops it.
 package ethernet
 
 import (
@@ -60,12 +68,24 @@ func DefaultParams() Params {
 	}
 }
 
-// Frame is one datagram on the segment. Payload is owned by the
-// receiver; the bus copies on send.
+// frameBuf is a pooled payload buffer shared by every receiver of one
+// transmission. refs counts ring slots (and in-flight deliveries) still
+// holding the buffer; it returns to the freelist at zero.
+type frameBuf struct {
+	data []byte // full-capacity backing array
+	refs int
+}
+
+// Frame is one datagram on the segment. Payload is valid until the
+// receiver calls Release (or indefinitely for receivers that never
+// release); the bus copies the sender's bytes on Send, so one buffer is
+// shared by all receivers of a broadcast.
 type Frame struct {
 	Src     int // sending NIC id
 	Dst     int // receiving NIC id or Broadcast
 	Payload []byte
+
+	buf *frameBuf // pool bookkeeping; nil for zero-value Frames
 }
 
 // Stats aggregates segment-wide counters.
@@ -85,6 +105,18 @@ type Bus struct {
 	nics      []*NIC
 	busyUntil time.Duration
 	stats     Stats
+	free      []*frameBuf // payload buffer pool
+	freeDeliv []*delivery // delivery-event pool
+}
+
+// delivery is a pooled in-flight transmission: the frame plus a
+// pre-built event closure, so Send schedules delivery without
+// allocating.
+type delivery struct {
+	b    *Bus
+	f    Frame
+	lost bool
+	fn   func()
 }
 
 // NewBus creates a segment driven by kernel k.
@@ -116,21 +148,55 @@ func (b *Bus) Utilization(wall time.Duration) float64 {
 	return float64(b.stats.BusyTime) / float64(wall)
 }
 
+// acquire takes a payload buffer of length n from the pool.
+func (b *Bus) acquire(n int) *frameBuf {
+	if l := len(b.free); l > 0 {
+		fb := b.free[l-1]
+		b.free[l-1] = nil
+		b.free = b.free[:l-1]
+		if cap(fb.data) < n {
+			fb.data = make([]byte, n)
+		}
+		fb.data = fb.data[:n]
+		fb.refs = 0
+		return fb
+	}
+	return &frameBuf{data: make([]byte, n)}
+}
+
+// releaseBuf drops one reference, recycling the buffer at zero.
+func (b *Bus) releaseBuf(fb *frameBuf) {
+	if fb == nil || fb.refs <= 0 {
+		return
+	}
+	fb.refs--
+	if fb.refs == 0 {
+		b.free = append(b.free, fb)
+	}
+}
+
 // Attach adds a NIC to the segment. intr is invoked in kernel event
 // context whenever a frame is queued into the NIC's receive ring; it is
 // typically wired to a host interrupt that wakes the Mether server.
 func (b *Bus) Attach(name string, intr func()) *NIC {
-	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr}
+	ringCap := b.p.RxRing
+	if ringCap < 0 {
+		ringCap = 0
+	}
+	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr, ring: make([]Frame, ringCap)}
 	b.nics = append(b.nics, n)
 	return n
 }
 
-// NIC is one station on the segment.
+// NIC is one station on the segment. Its receive ring is a fixed
+// circular buffer of Params.RxRing slots.
 type NIC struct {
 	bus   *Bus
 	id    int
 	name  string
-	ring  []Frame
+	ring  []Frame // circular; len(ring) == capacity
+	head  int
+	count int
 	intr  func()
 	drops uint64
 	down  bool
@@ -156,17 +222,30 @@ func (n *NIC) Name() string { return n.name }
 func (n *NIC) Drops() uint64 { return n.drops }
 
 // Pending returns the number of frames waiting in the receive ring.
-func (n *NIC) Pending() int { return len(n.ring) }
+func (n *NIC) Pending() int { return n.count }
 
 // Recv dequeues the oldest received frame, reporting false if the ring
-// is empty.
+// is empty. The frame's payload remains valid until Release.
 func (n *NIC) Recv() (Frame, bool) {
-	if len(n.ring) == 0 {
+	if n.count == 0 {
 		return Frame{}, false
 	}
-	f := n.ring[0]
-	n.ring = n.ring[1:]
+	f := n.ring[n.head]
+	n.ring[n.head] = Frame{}
+	n.head = (n.head + 1) % len(n.ring)
+	n.count--
 	return f, true
+}
+
+// Release returns a received frame's payload buffer to the segment's
+// pool once this receiver is done with it. Calling it is optional —
+// receivers that retain payloads (taps, bridges mid-forward) simply
+// leave the buffer to the garbage collector — but the Mether server
+// releases every frame it consumes, which is what makes the receive
+// path allocation-free. Release must be called at most once per
+// received frame, after which the payload must not be touched.
+func (n *NIC) Release(f Frame) {
+	n.bus.releaseBuf(f.buf)
 }
 
 // wireBytes returns the on-wire size of a payload.
@@ -187,15 +266,21 @@ func (b *Bus) txTime(wire int) time.Duration {
 
 // Send transmits payload from this NIC to dst (a NIC id or Broadcast).
 // The call returns immediately; delivery happens after the medium frees
-// up, serialization and propagation. The payload is copied.
+// up, serialization and propagation. The payload is copied into a pooled
+// buffer shared by all receivers.
 func (n *NIC) Send(dst int, payload []byte) {
 	if n.down {
 		return
 	}
 	b := n.bus
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	f := Frame{Src: n.id, Dst: dst, Payload: cp}
+	fb := b.acquire(len(payload))
+	copy(fb.data, payload)
+	// The in-flight transmission itself holds one reference until the
+	// delivery fan-out completes, so an interrupt-context receiver that
+	// drains and releases mid-fan-out cannot recycle the buffer under
+	// the remaining receivers.
+	fb.refs = 1
+	f := Frame{Src: n.id, Dst: dst, Payload: fb.data, buf: fb}
 
 	wire := b.wireBytes(len(payload))
 	start := b.k.Now()
@@ -210,22 +295,47 @@ func (n *NIC) Send(dst int, payload []byte) {
 	b.stats.PayloadBytes += uint64(len(payload))
 	b.stats.BusyTime += dur
 
-	lost := b.p.LossRate > 0 && b.k.Rand().Float64() < b.p.LossRate
-	b.k.At(start+dur+b.p.PropDelay, "eth deliver", func() {
-		if lost {
-			b.stats.WireLost++
-			return
-		}
+	d := b.acquireDeliv()
+	d.f = f
+	d.lost = b.p.LossRate > 0 && b.k.Rand().Float64() < b.p.LossRate
+	b.k.At(start+dur+b.p.PropDelay, "eth deliver", d.fn)
+}
+
+// acquireDeliv takes a delivery record (with its prebuilt closure) from
+// the pool.
+func (b *Bus) acquireDeliv() *delivery {
+	if l := len(b.freeDeliv); l > 0 {
+		d := b.freeDeliv[l-1]
+		b.freeDeliv[l-1] = nil
+		b.freeDeliv = b.freeDeliv[:l-1]
+		return d
+	}
+	d := &delivery{b: b}
+	d.fn = func() { d.run() }
+	return d
+}
+
+// run completes one transmission: fan the frame out (or lose it), then
+// recycle the buffer if nobody kept it and the delivery record itself.
+func (d *delivery) run() {
+	b := d.b
+	if d.lost {
+		b.stats.WireLost++
+	} else {
 		for _, rx := range b.nics {
-			if rx.id == n.id {
+			if rx.id == d.f.Src {
 				continue
 			}
-			if dst != Broadcast && dst != rx.id {
+			if d.f.Dst != Broadcast && d.f.Dst != rx.id {
 				continue
 			}
-			rx.deliver(f)
+			rx.deliver(d.f)
 		}
-	})
+	}
+	b.releaseBuf(d.f.buf) // drop the in-flight reference
+	d.f = Frame{}
+	d.lost = false
+	b.freeDeliv = append(b.freeDeliv, d)
 }
 
 // deliver queues a frame into the receive ring, dropping on overflow.
@@ -233,11 +343,13 @@ func (rx *NIC) deliver(f Frame) {
 	if rx.down {
 		return
 	}
-	if len(rx.ring) >= rx.bus.p.RxRing {
+	if rx.count >= len(rx.ring) {
 		rx.drops++
 		return
 	}
-	rx.ring = append(rx.ring, f)
+	rx.ring[(rx.head+rx.count)%len(rx.ring)] = f
+	rx.count++
+	f.buf.refs++
 	if rx.intr != nil {
 		rx.intr()
 	}

@@ -1,0 +1,242 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"mether/internal/sim"
+)
+
+// fill sends count minimal frames from tx and runs the kernel so they
+// all arrive.
+func fill(k *sim.Kernel, tx *NIC, count int) {
+	for i := 0; i < count; i++ {
+		tx.Send(Broadcast, []byte{byte(i)})
+	}
+	k.Run()
+}
+
+// TestRxRingDropsAtExactCapacity pins the overrun boundary: a ring of
+// capacity C accepts exactly C frames; frame C+1 is dropped, the drop
+// counter increments, and nothing past the ring is ever delivered.
+func TestRxRingDropsAtExactCapacity(t *testing.T) {
+	p := DefaultParams()
+	p.RxRing = 4
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.Attach("rx", nil) // no interrupt: nothing drains the ring
+	tx := bus.Attach("tx", nil)
+
+	fill(k, tx, p.RxRing)
+	if got := rx.Pending(); got != p.RxRing {
+		t.Fatalf("ring holds %d frames at capacity, want %d", got, p.RxRing)
+	}
+	if rx.Drops() != 0 {
+		t.Fatalf("drops = %d before overrun, want 0", rx.Drops())
+	}
+
+	// One past capacity: dropped, counted, not delivered.
+	fill(k, tx, 1)
+	if got := rx.Pending(); got != p.RxRing {
+		t.Errorf("ring grew past capacity: %d frames", got)
+	}
+	if rx.Drops() != 1 {
+		t.Errorf("drops = %d after one overrun, want 1", rx.Drops())
+	}
+
+	// A burst far past capacity: every excess frame is one drop.
+	fill(k, tx, 10)
+	if rx.Drops() != 11 {
+		t.Errorf("drops = %d after burst, want 11", rx.Drops())
+	}
+
+	// The ring's contents are the first C frames, in order; the dropped
+	// ones left no trace.
+	for i := 0; i < p.RxRing; i++ {
+		f, ok := rx.Recv()
+		if !ok {
+			t.Fatalf("ring empty after %d frames, want %d", i, p.RxRing)
+		}
+		if f.Payload[0] != byte(i) {
+			t.Errorf("frame %d payload = %d, want %d (FIFO violated)", i, f.Payload[0], i)
+		}
+		rx.Release(f)
+	}
+	if _, ok := rx.Recv(); ok {
+		t.Error("frame delivered past ring capacity")
+	}
+}
+
+// TestRxRingDrainReopensRing proves the ring is circular, not one-shot:
+// after an overrun, draining frames makes room again and wraparound
+// preserves FIFO order.
+func TestRxRingDrainReopensRing(t *testing.T) {
+	p := DefaultParams()
+	p.RxRing = 3
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.Attach("rx", nil)
+	tx := bus.Attach("tx", nil)
+
+	fill(k, tx, 5) // 3 delivered, 2 dropped
+	if rx.Drops() != 2 {
+		t.Fatalf("drops = %d, want 2", rx.Drops())
+	}
+	// Drain two slots, then refill: the wrapped slots must accept frames.
+	for i := 0; i < 2; i++ {
+		f, ok := rx.Recv()
+		if !ok {
+			t.Fatal("ring underflow")
+		}
+		if f.Payload[0] != byte(i) {
+			t.Errorf("frame %d payload = %d, want %d", i, f.Payload[0], i)
+		}
+		rx.Release(f)
+	}
+	fill(k, tx, 2)
+	if got := rx.Pending(); got != 3 {
+		t.Fatalf("ring holds %d after refill, want 3", got)
+	}
+	want := []byte{2, 0, 1} // frame 2 survived; the refill (0, 1) wrapped in
+	for i, w := range want {
+		f, ok := rx.Recv()
+		if !ok {
+			t.Fatal("ring underflow")
+		}
+		if f.Payload[0] != w {
+			t.Errorf("frame %d payload = %d, want %d", i, f.Payload[0], w)
+		}
+		rx.Release(f)
+	}
+}
+
+// TestRxRingZeroCapacityDropsEverything covers the degenerate ring.
+func TestRxRingZeroCapacityDropsEverything(t *testing.T) {
+	p := DefaultParams()
+	p.RxRing = 0
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.Attach("rx", nil)
+	tx := bus.Attach("tx", nil)
+	fill(k, tx, 3)
+	if rx.Pending() != 0 || rx.Drops() != 3 {
+		t.Errorf("pending=%d drops=%d, want 0 and 3", rx.Pending(), rx.Drops())
+	}
+}
+
+// TestReleasedBuffersAreRecycled proves the pooled data path reuses
+// payload buffers once every receiver has released them, and that the
+// recycled buffer carries the new payload (no aliasing of live frames).
+func TestReleasedBuffersAreRecycled(t *testing.T) {
+	p := DefaultParams()
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.Attach("rx", nil)
+	tx := bus.Attach("tx", nil)
+
+	tx.Send(rx.ID(), []byte{0xAA, 0xBB})
+	k.Run()
+	f1, ok := rx.Recv()
+	if !ok {
+		t.Fatal("frame not delivered")
+	}
+	first := &f1.Payload[0]
+	rx.Release(f1)
+	if len(bus.free) != 1 {
+		t.Fatalf("pool holds %d buffers after release, want 1", len(bus.free))
+	}
+
+	tx.Send(rx.ID(), []byte{0x11, 0x22})
+	k.Run()
+	f2, ok := rx.Recv()
+	if !ok {
+		t.Fatal("second frame not delivered")
+	}
+	if &f2.Payload[0] != first {
+		t.Error("released buffer was not recycled for the next send")
+	}
+	if f2.Payload[0] != 0x11 || f2.Payload[1] != 0x22 {
+		t.Errorf("recycled buffer carries stale bytes % x", f2.Payload)
+	}
+}
+
+// TestBroadcastBufferSharedUntilAllRelease proves a broadcast's buffer
+// is shared by every receiver and only returns to the pool when the
+// last one releases it.
+func TestBroadcastBufferSharedUntilAllRelease(t *testing.T) {
+	p := DefaultParams()
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	a := bus.Attach("a", nil)
+	b := bus.Attach("b", nil)
+	tx := bus.Attach("tx", nil)
+
+	tx.Send(Broadcast, []byte{7})
+	k.Run()
+	fa, _ := a.Recv()
+	fb, _ := b.Recv()
+	if &fa.Payload[0] != &fb.Payload[0] {
+		t.Fatal("broadcast receivers should share one payload buffer")
+	}
+	a.Release(fa)
+	if len(bus.free) != 0 {
+		t.Fatal("buffer recycled while another receiver still holds it")
+	}
+	b.Release(fb)
+	if len(bus.free) != 1 {
+		t.Fatalf("pool holds %d buffers after final release, want 1", len(bus.free))
+	}
+}
+
+// TestBridgeForwardingUnderOverflow floods a bridge port past its ring
+// capacity: the bridge must forward exactly the frames its ring
+// accepted, count the rest as drops, and keep forwarding afterwards.
+func TestBridgeForwardingUnderOverflow(t *testing.T) {
+	p := DefaultParams()
+	p.RxRing = 2
+	k := sim.New(1)
+	segA := NewBus(k, p)
+	segB := NewBus(k, p)
+	br := NewBridge(k, segA, segB, 100*time.Microsecond)
+
+	sink := segB.Attach("sink", nil)
+
+	// The bridge drains its port ring from the interrupt callback, so a
+	// burst serialized on the shared medium cannot overrun it — but the
+	// far side can: the bridge re-transmits onto segment B whose sink
+	// never drains. Send a burst and verify both properties.
+	burst := 6
+	txs := make([]*NIC, burst)
+	for i := range txs {
+		txs[i] = segA.Attach("tx", nil)
+	}
+	for i, tx := range txs {
+		tx.Send(Broadcast, []byte{byte(i)})
+	}
+	k.Run()
+	if got := br.Forwarded(); got != uint64(burst) {
+		t.Fatalf("bridge forwarded %d frames, want %d", got, burst)
+	}
+	got := 0
+	for {
+		f, ok := sink.Recv()
+		if !ok {
+			break
+		}
+		if int(f.Payload[0]) != got {
+			t.Errorf("forwarded frame %d carries payload %d", got, f.Payload[0])
+		}
+		sink.Release(f)
+		got++
+	}
+	// The sink's own ring capacity (2) bounds what survives the far
+	// side: the bridge re-serializes frames onto segment B faster than
+	// the sink drains (it never drains), so exactly RxRing survive and
+	// the rest are sink-side ring drops.
+	if got != p.RxRing {
+		t.Errorf("sink received %d frames, want %d (ring-bounded)", got, p.RxRing)
+	}
+	if sink.Drops() != uint64(burst-p.RxRing) {
+		t.Errorf("sink drops = %d, want %d", sink.Drops(), burst-p.RxRing)
+	}
+}

@@ -114,6 +114,10 @@ type Host struct {
 	sleepers    map[any][]*Proc
 	procs       []*Proc
 	busy        time.Duration // total CPU busy time
+
+	// Precomputed event names (hot paths must not concatenate strings).
+	boostName string
+	intrName  string
 }
 
 // New creates a host scheduled by kernel k.
@@ -121,7 +125,12 @@ func New(k *sim.Kernel, id int, name string, pr Params) *Host {
 	if pr.Quantum <= 0 {
 		panic("host: Quantum must be positive")
 	}
-	return &Host{k: k, id: id, name: name, pr: pr, sleepers: make(map[any][]*Proc)}
+	return &Host{
+		k: k, id: id, name: name, pr: pr,
+		sleepers:  make(map[any][]*Proc),
+		boostName: "wake boost " + name,
+		intrName:  "interrupt " + name,
+	}
 }
 
 // Kernel returns the simulation kernel driving this host.
@@ -165,6 +174,13 @@ type Proc struct {
 
 	// blocked bookkeeping
 	sleepKey any
+
+	// Precomputed event names and closures so the dispatch/sleep hot
+	// paths schedule kernel events without per-call allocations.
+	dispatchName string
+	dispatchFn   func()
+	timerName    string
+	timerFn      func()
 }
 
 // Spawn creates a process and makes it runnable. fn runs under the
@@ -172,6 +188,10 @@ type Proc struct {
 // through Use/UseUser/UseSys and all blocking through the Sleep methods.
 func (h *Host) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{h: h, name: name, state: stateRunnable}
+	p.dispatchName = "dispatch " + name
+	p.dispatchFn = func() { h.finishDispatch(p) }
+	p.timerName = "timer " + name
+	p.timerFn = func() { h.timerFire(p) }
 	h.procs = append(h.procs, p)
 	p.sp = h.k.Spawn(fmt.Sprintf("%s/%s", h.name, name), func(sp *sim.Proc) {
 		// Wait to be dispatched for the first time.
@@ -225,21 +245,24 @@ func (h *Host) maybeDispatch() {
 	next.inRunq = false
 	h.ctxSwitches++
 	delay := h.pr.CtxSwitch + h.pr.DispatchLatency
-	h.k.After(delay, "dispatch "+next.name, func() {
-		h.dispatching = false
-		if next.state == stateDead {
-			h.maybeDispatch()
-			return
-		}
-		h.cur = next
-		next.state = stateRunning
-		next.dispatchSeq++
-		next.quantumUsed = 0
-		next.sys += h.pr.CtxSwitch
-		h.busy += h.pr.CtxSwitch
-		tracef("%v %s: dispatch %s", h.k.Now(), h.name, next.name)
-		next.sp.Wake()
-	})
+	h.k.After(delay, next.dispatchName, next.dispatchFn)
+}
+
+// finishDispatch completes a context switch armed by maybeDispatch.
+func (h *Host) finishDispatch(next *Proc) {
+	h.dispatching = false
+	if next.state == stateDead {
+		h.maybeDispatch()
+		return
+	}
+	h.cur = next
+	next.state = stateRunning
+	next.dispatchSeq++
+	next.quantumUsed = 0
+	next.sys += h.pr.CtxSwitch
+	h.busy += h.pr.CtxSwitch
+	tracef("%v %s: dispatch %s", h.k.Now(), h.name, next.name)
+	next.sp.Wake()
 }
 
 // acquireCPU blocks until this process is the one running on the CPU.
@@ -328,7 +351,9 @@ func (p *Proc) SleepOn(key any) {
 	h.sleepers[key] = append(h.sleepers[key], p)
 	p.releaseCPU()
 	for p.state == stateBlocked {
-		p.sp.Park(fmt.Sprintf("sleep on %v", key))
+		// The key is already boxed, so parking on it costs nothing and
+		// keeps the blocked-on condition inspectable in a debugger.
+		p.sp.Park(key)
 	}
 	p.acquireCPU()
 }
@@ -339,22 +364,25 @@ func (p *Proc) SleepFor(d time.Duration) {
 	h := p.h
 	p.state = stateBlocked
 	p.releaseCPU()
-	h.k.After(d, "timer "+p.name, func() {
-		if p.state == stateBlocked {
-			p.state = stateRunnable
-			h.enqueue(p)
-			h.maybeDispatch()
-			if h.pr.PreemptOnWake {
-				h.preemptCurrent()
-			}
-			h.armWakeBoost(p)
-			p.sp.Wake()
-		}
-	})
+	h.k.After(d, p.timerName, p.timerFn)
 	for p.state == stateBlocked {
 		p.sp.Park("timed sleep")
 	}
 	p.acquireCPU()
+}
+
+// timerFire completes a SleepFor armed on p.
+func (h *Host) timerFire(p *Proc) {
+	if p.state == stateBlocked {
+		p.state = stateRunnable
+		h.enqueue(p)
+		h.maybeDispatch()
+		if h.pr.PreemptOnWake {
+			h.preemptCurrent()
+		}
+		h.armWakeBoost(p)
+		p.sp.Wake()
+	}
 }
 
 // Wakeup makes every process sleeping on key runnable. It may be called
@@ -401,7 +429,7 @@ func (h *Host) armWakeBoost(woken *Proc) {
 	// discarded — otherwise it would preempt whoever runs later (often
 	// the server) in favour of a process that already had its turn.
 	epoch := woken.dispatchSeq
-	h.k.After(h.pr.WakeBoostDelay, "wake boost "+h.name, func() {
+	h.k.After(h.pr.WakeBoostDelay, h.boostName, func() {
 		if woken.dispatchSeq == epoch && woken.state == stateRunnable && woken.inRunq && h.cur != nil {
 			tracef("%v %s: boost preempts %s for %s", h.k.Now(), h.name, h.cur.name, woken.name)
 			h.cur.quantumUsed = h.pr.Quantum
@@ -412,7 +440,7 @@ func (h *Host) armWakeBoost(woken *Proc) {
 // Interrupt models a hardware interrupt: after the configured interrupt
 // cost, fn runs in kernel event context (typically a Wakeup).
 func (h *Host) Interrupt(fn func()) {
-	h.k.After(h.pr.InterruptCost, "interrupt "+h.name, fn)
+	h.k.After(h.pr.InterruptCost, h.intrName, fn)
 }
 
 // Sleeping reports how many processes are blocked on key.

@@ -5,7 +5,12 @@
 // moved via a short transfer and a full view is needed later.
 //
 // All packets share one fixed 16-byte header followed by an optional
-// payload. Encoding is little-endian via encoding/binary.
+// payload. Encoding is little-endian via encoding/binary. Version 2
+// repacked the header for large clusters: host ids (From, OwnerTo) are
+// 16-bit so a segment can carry more than 127 stations, paid for by
+// narrowing the page id to 16 bits (worlds are bounded by
+// Config.NumPages, far below 65536). The header length — and therefore
+// every frame's wire size and timing — is unchanged from version 1.
 package proto
 
 import (
@@ -58,7 +63,7 @@ const NoOwner = -1
 
 const (
 	magic       = 0x4D // 'M'
-	version     = 1
+	version     = 2
 	flagShort   = 1 << 0
 	flagConsist = 1 << 1
 
@@ -66,6 +71,11 @@ const (
 	HeaderLen = 16
 	// RestLen is the superset remainder payload size.
 	RestLen = vm.PageSize - vm.ShortSize
+	// MaxPages bounds the page ids the 16-bit wire field can carry.
+	MaxPages = 1 << 16
+	// MaxHostID bounds the host ids the 16-bit signed wire fields can
+	// carry (NoOwner takes -1).
+	MaxHostID = 1<<15 - 1
 )
 
 // ErrMalformed reports an undecodable packet.
@@ -76,10 +86,10 @@ var ErrMalformed = errors.New("proto: malformed packet")
 type Packet struct {
 	Type       Type
 	Page       vm.PageID
-	Short      bool // request: short view; data: payload is the short region
-	Consistent bool // request: ownership wanted
-	From       int8 // sending host id
-	OwnerTo    int8 // data: host receiving ownership, or NoOwner
+	Short      bool  // request: short view; data: payload is the short region
+	Consistent bool  // request: ownership wanted
+	From       int16 // sending host id
+	OwnerTo    int16 // data: host receiving ownership, or NoOwner
 	ReqID      uint16
 	Gen        uint32 // data: content generation
 	Data       []byte // TypeData / TypeRestData payload
@@ -112,19 +122,25 @@ func (p Packet) Validate() error {
 	if len(p.Data) != want {
 		return fmt.Errorf("%w: %s payload %d bytes, want %d", ErrMalformed, p.Type, len(p.Data), want)
 	}
+	if p.Page >= MaxPages {
+		return fmt.Errorf("%w: page %d beyond the 16-bit wire field", ErrMalformed, p.Page)
+	}
 	return nil
 }
 
-// Encode serializes the packet. It panics only on programmer error
-// (invalid type/payload combinations return an error instead).
+// Encode serializes the packet into a fresh buffer. Invalid type/payload
+// combinations return an error.
 func Encode(p Packet) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, HeaderLen+len(p.Data)), p)
+}
+
+// AppendEncode serializes the packet onto dst (reusing its capacity) and
+// returns the extended slice. Hot paths keep a scratch buffer and call
+// AppendEncode(scratch[:0], p) to encode without allocating.
+func AppendEncode(dst []byte, p Packet) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, HeaderLen+len(p.Data))
-	buf[0] = magic
-	buf[1] = version
-	buf[2] = byte(p.Type)
 	var flags byte
 	if p.Short {
 		flags |= flagShort
@@ -132,14 +148,13 @@ func Encode(p Packet) ([]byte, error) {
 	if p.Consistent {
 		flags |= flagConsist
 	}
-	buf[3] = flags
-	binary.LittleEndian.PutUint32(buf[4:], uint32(p.Page))
-	buf[8] = byte(p.From)
-	buf[9] = byte(p.OwnerTo)
-	binary.LittleEndian.PutUint16(buf[10:], p.ReqID)
-	binary.LittleEndian.PutUint32(buf[12:], p.Gen)
-	copy(buf[HeaderLen:], p.Data)
-	return buf, nil
+	dst = append(dst, magic, version, byte(p.Type), flags)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.Page))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.From))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.OwnerTo))
+	dst = binary.LittleEndian.AppendUint16(dst, p.ReqID)
+	dst = binary.LittleEndian.AppendUint32(dst, p.Gen)
+	return append(dst, p.Data...), nil
 }
 
 // Decode parses a datagram, validating header fields and payload length.
@@ -158,9 +173,9 @@ func Decode(b []byte) (Packet, error) {
 		Type:       Type(b[2]),
 		Short:      b[3]&flagShort != 0,
 		Consistent: b[3]&flagConsist != 0,
-		Page:       vm.PageID(binary.LittleEndian.Uint32(b[4:])),
-		From:       int8(b[8]),
-		OwnerTo:    int8(b[9]),
+		Page:       vm.PageID(binary.LittleEndian.Uint16(b[4:])),
+		From:       int16(binary.LittleEndian.Uint16(b[6:])),
+		OwnerTo:    int16(binary.LittleEndian.Uint16(b[8:])),
 		ReqID:      binary.LittleEndian.Uint16(b[10:]),
 		Gen:        binary.LittleEndian.Uint32(b[12:]),
 	}

@@ -20,7 +20,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		},
 		{
 			name: "full request",
-			pkt:  Packet{Type: TypeRequest, Page: 1 << 20, From: 1, OwnerTo: NoOwner},
+			pkt:  Packet{Type: TypeRequest, Page: MaxPages - 1, From: 1, OwnerTo: NoOwner},
+		},
+		{
+			name: "large-cluster host ids",
+			pkt:  Packet{Type: TypeRequest, Page: 2, From: 255, OwnerTo: MaxHostID, ReqID: 7},
 		},
 		{
 			name: "short data with ownership",
@@ -94,6 +98,10 @@ func TestEncodeRejectsBadPayloads(t *testing.T) {
 		{Type: TypeRequest, Data: []byte{1}},
 		{Type: TypeRestData, Data: make([]byte, 10)},
 		{Type: Type(99)},
+		// Page ids beyond the 16-bit wire field must be rejected, not
+		// silently truncated onto another page.
+		{Type: TypeRequest, Page: MaxPages},
+		{Type: TypeRequest, Page: 1 << 20},
 	}
 	for _, p := range cases {
 		if _, err := Encode(p); !errors.Is(err, ErrMalformed) {
@@ -143,7 +151,7 @@ func TestNoOwnerRoundTrip(t *testing.T) {
 
 // Property: any header field combination survives an encode/decode cycle.
 func TestHeaderRoundTripProperty(t *testing.T) {
-	prop := func(page uint32, from, ownerTo int8, reqID uint16, gen uint32, short, consistent, isReq bool) bool {
+	prop := func(page uint16, from, ownerTo int16, reqID uint16, gen uint32, short, consistent, isReq bool) bool {
 		p := Packet{
 			Page: vm.PageID(page), From: from, OwnerTo: ownerTo,
 			ReqID: reqID, Short: short, Consistent: consistent,
@@ -241,21 +249,44 @@ func TestDecodeTruncatedHeaderEveryLength(t *testing.T) {
 // format is a compatibility surface for traces and calibration.
 func TestGoldenHeaderLayout(t *testing.T) {
 	enc, err := Encode(Packet{
-		Type: TypeRequest, Page: 0x01020304, Short: true, Consistent: true,
-		From: 3, OwnerTo: NoOwner, ReqID: 0xBEEF, Gen: 0x0A0B0C0D,
+		Type: TypeRequest, Page: 0x0102, Short: true, Consistent: true,
+		From: 0x0304, OwnerTo: NoOwner, ReqID: 0xBEEF, Gen: 0x0A0B0C0D,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []byte{
 		magic, version, byte(TypeRequest), flagShort | flagConsist,
-		0x04, 0x03, 0x02, 0x01, // page, little-endian
-		3, 0xFF, // from, ownerTo (NoOwner = -1)
+		0x02, 0x01, // page, little-endian (16-bit since v2)
+		0x04, 0x03, // from, little-endian (16-bit since v2)
+		0xFF, 0xFF, // ownerTo (NoOwner = -1, 16-bit since v2)
 		0xEF, 0xBE, // reqID, little-endian
 		0x0D, 0x0C, 0x0B, 0x0A, // gen, little-endian
 	}
 	if !bytes.Equal(enc, want) {
 		t.Errorf("header layout drifted:\n got %x\nwant %x", enc, want)
+	}
+}
+
+// TestAppendEncodeReusesScratch pins the zero-allocation encode path:
+// encoding into a scratch buffer's capacity matches Encode byte for byte
+// and keeps the same backing array.
+func TestAppendEncodeReusesScratch(t *testing.T) {
+	pkt := Packet{Type: TypeData, Page: 9, Short: true, From: 1, OwnerTo: NoOwner, Gen: 3, Data: make([]byte, vm.ShortSize)}
+	fresh, err := Encode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 0, HeaderLen+vm.PageSize)
+	out, err := AppendEncode(scratch[:0], pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, fresh) {
+		t.Errorf("AppendEncode differs from Encode:\n got %x\nwant %x", out, fresh)
+	}
+	if &out[0] != &scratch[:1][0] {
+		t.Error("AppendEncode reallocated despite sufficient scratch capacity")
 	}
 }
 

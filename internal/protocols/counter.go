@@ -408,6 +408,7 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 	r.NetBytes = ns.WireBytes
 	r.Packets = ns.Frames
 	r.RingDrops = ns.RingDrops
+	r.Events = w.EventsDispatched()
 	if r.Wall > 0 {
 		r.NetBytesPerSec = stats.BytesPerSec(r.NetBytes, r.Wall)
 	}

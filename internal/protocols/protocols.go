@@ -170,6 +170,10 @@ type Report struct {
 	Retries       uint64
 	DataFallbacks uint64
 	RingDrops     uint64
+	// Events is the number of simulation-kernel events dispatched for the
+	// run — the engine-throughput denominator (deterministic: a pure
+	// function of config and seed).
+	Events uint64
 
 	// Trace holds the rendered packet trace when Config.TraceLimit > 0.
 	Trace string

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelDispatch measures heap-path event throughput: every
+// event is scheduled a nonzero delay ahead, so each one transits the
+// (time, seq) priority queue. This is the simulator's base speed limit.
+func BenchmarkKernelDispatch(b *testing.B) {
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, "tick", tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(time.Microsecond, "tick", tick)
+	k.Run()
+}
+
+// BenchmarkKernelDispatchImmediate measures the After(0) fast path:
+// same-instant events that (post-refactor) bypass the heap through the
+// FIFO run queue — the shape of wakeups, interrupts and work handoffs,
+// the dominant event class in protocol-heavy runs.
+func BenchmarkKernelDispatchImmediate(b *testing.B) {
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(0, "tick", tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(0, "tick", tick)
+	k.Run()
+}
+
+// BenchmarkKernelScheduleCancel measures the schedule-then-cancel churn
+// of retry timers: the event never fires but must be queued, cancelled
+// (dropping its closure immediately) and reclaimed on pop.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		ev := k.After(time.Millisecond, "retry", func() { panic("cancelled event ran") })
+		ev.Cancel()
+		if n < b.N {
+			k.After(time.Microsecond, "tick", tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(time.Microsecond, "tick", tick)
+	k.Run()
+}

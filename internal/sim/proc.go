@@ -28,8 +28,12 @@ type Proc struct {
 	// wakePending coalesces Wake calls that arrive while the process is
 	// not parked; the next Park returns immediately.
 	wakePending bool
-	parkReason  string
+	parkReason  any
 	aborting    bool
+	// runFn and wakeName are precomputed once so the park/wake hot path
+	// schedules events without allocating a closure or a name string.
+	runFn    func()
+	wakeName string
 }
 
 // Spawn creates a process and schedules it to start at the current
@@ -37,6 +41,8 @@ type Proc struct {
 // discipline and must use only this package's blocking primitives.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p.runFn = func() { k.runProc(p) }
+	p.wakeName = "wake " + name
 	k.procs = append(k.procs, p)
 	go func() {
 		defer func() {
@@ -54,7 +60,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	k.After(0, "spawn "+name, func() { k.runProc(p) })
+	k.After(0, "spawn "+name, p.runFn)
 	return p
 }
 
@@ -85,14 +91,17 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	p.state = procWaiting
-	p.k.After(d, "wake "+p.name, func() { p.k.runProc(p) })
+	p.k.After(d, p.wakeName, p.runFn)
 	p.park()
 }
 
-// Park blocks until another component calls Wake. The reason string is
-// reported by Kernel.Idle for diagnostics. If a Wake arrived since the
-// last Park returned, Park consumes it and returns immediately.
-func (p *Proc) Park(reason string) {
+// Park blocks until another component calls Wake. The reason — any
+// value; typically a string or the wait key the caller is blocked on —
+// is retained for debugger inspection and formatted only on demand, so
+// the hot path never pays for building a diagnostic string. If a Wake
+// arrived since the last Park returned, Park consumes it and returns
+// immediately.
+func (p *Proc) Park(reason any) {
 	if p.wakePending {
 		p.wakePending = false
 		return
@@ -112,7 +121,7 @@ func (p *Proc) Wake() {
 	case procDead:
 	case procParked:
 		p.state = procWaiting // resume already scheduled below
-		p.k.After(0, "unpark "+p.name, func() { p.k.runProc(p) })
+		p.k.After(0, p.wakeName, p.runFn)
 	default:
 		p.wakePending = true
 	}

@@ -10,6 +10,12 @@
 // The package is intentionally free of real-time dependencies: virtual
 // time is a time.Duration measured from the start of the run, and nothing
 // ever consults the wall clock.
+//
+// The dispatch core is allocation-free in steady state: fired events are
+// recycled through a freelist, and same-instant events (the After(0)
+// wakeup/interrupt/handoff shape that dominates protocol-heavy runs)
+// bypass the heap through a FIFO run queue. Neither optimization is
+// observable: events still execute in exact (time, sequence) order.
 package sim
 
 import (
@@ -24,12 +30,22 @@ import (
 // goroutines it manages; it is not safe for concurrent use from outside
 // the simulation.
 type Kernel struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
-	rng     *rand.Rand
-	procs   []*Proc
-	running *Proc
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	// runq is the same-instant FIFO fast path: events scheduled for the
+	// current time in strictly increasing seq order, so FIFO order is
+	// (time, seq) order. The clock cannot advance while runq is
+	// non-empty, which keeps the invariant trivially true.
+	runq fifo
+	// free recycles fired and cancelled events. Events are reset before
+	// reuse; holding a *Event after its callback has run (or after
+	// cancelling and releasing it) is a caller bug.
+	free       []*Event
+	rng        *rand.Rand
+	procs      []*Proc
+	running    *Proc
+	dispatched uint64
 	// handoff is signalled by a process goroutine when it parks or exits,
 	// returning control to the kernel loop.
 	handoff chan struct{}
@@ -51,16 +67,46 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// alloc takes an event from the freelist or the heap.
+func (k *Kernel) alloc() *Event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release resets a popped event and returns it to the freelist. The
+// closure and name references are dropped so they become collectable
+// immediately.
+func (k *Kernel) release(ev *Event) {
+	*ev = Event{index: -1}
+	k.free = append(k.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. If t is in the past
 // it runs at the current time, after already-queued events. The returned
-// Event may be cancelled.
+// Event may be cancelled until it fires; once the callback has run the
+// kernel recycles the Event, so references must not be retained past
+// that point.
 func (k *Kernel) At(t time.Duration, name string, fn func()) *Event {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	ev := &Event{at: t, seq: k.seq, name: name, fn: fn}
-	heap.Push(&k.queue, ev)
+	ev := k.alloc()
+	ev.at = t
+	ev.seq = k.seq
+	ev.name = name
+	ev.fn = fn
+	if t == k.now {
+		ev.index = -1
+		k.runq.push(ev)
+	} else {
+		heap.Push(&k.queue, ev)
+	}
 	return ev
 }
 
@@ -81,22 +127,52 @@ func (k *Kernel) Run() time.Duration {
 	return k.RunUntil(1<<63 - 1)
 }
 
+// peek returns the next event in (time, seq) order without removing it,
+// or nil when both queues are empty.
+func (k *Kernel) peek() *Event {
+	if k.runq.n > 0 {
+		f := k.runq.first()
+		if k.queue.Len() > 0 {
+			if h := k.queue[0]; h.at < f.at || (h.at == f.at && h.seq < f.seq) {
+				return h
+			}
+		}
+		return f
+	}
+	if k.queue.Len() > 0 {
+		return k.queue[0]
+	}
+	return nil
+}
+
 // RunUntil executes events with timestamps no later than deadline, then
 // advances the clock to min(deadline, time of last event) and returns it.
 // If the queue drains earlier, the clock is left at the last event time.
 func (k *Kernel) RunUntil(deadline time.Duration) time.Duration {
-	for !k.stopped && k.queue.Len() > 0 {
-		next := k.queue[0]
+	for !k.stopped {
+		next := k.peek()
+		if next == nil {
+			break
+		}
 		if next.at > deadline {
 			k.now = deadline
 			return k.now
 		}
-		heap.Pop(&k.queue)
+		if k.runq.n > 0 && next == k.runq.first() {
+			k.runq.pop()
+		} else {
+			heap.Pop(&k.queue)
+		}
 		if next.cancelled {
+			k.release(next)
 			continue
 		}
 		k.now = next.at
-		next.fn()
+		k.dispatched++
+		fn := next.fn
+		next.fn = nil
+		fn()
+		k.release(next)
 	}
 	return k.now
 }
@@ -114,7 +190,13 @@ func (k *Kernel) Idle() []string {
 }
 
 // PendingEvents returns the number of events waiting in the queue.
-func (k *Kernel) PendingEvents() int { return k.queue.Len() }
+func (k *Kernel) PendingEvents() int { return k.queue.Len() + k.runq.n }
+
+// Dispatched returns the number of events executed so far. It is a pure
+// function of the simulation (virtual events, not wall time), so equal
+// seeds report equal counts; sweeps use it for events/sec throughput
+// records.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
 // runProc transfers control to p until it parks or exits.
 func (k *Kernel) runProc(p *Proc) {
@@ -130,7 +212,9 @@ func (k *Kernel) runProc(p *Proc) {
 }
 
 // Event is a scheduled callback. The zero value is not useful; events are
-// created by Kernel.At and Kernel.After.
+// created by Kernel.At and Kernel.After. After the callback has run the
+// kernel resets and recycles the Event; callers that keep a *Event to
+// Cancel it later must drop the reference once the event has fired.
 type Event struct {
 	at        time.Duration
 	seq       uint64
@@ -140,9 +224,15 @@ type Event struct {
 	index     int
 }
 
-// Cancel prevents the event from running. Cancelling an event that has
-// already fired is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the event from running and immediately drops the
+// callback (so everything the closure pins becomes collectable without
+// waiting for heap removal). Cancelling an event that has already fired
+// is a no-op only as long as the Event has not been recycled; see the
+// retention rule on Event.
+func (e *Event) Cancel() {
+	e.cancelled = true
+	e.fn = nil
+}
 
 // Time returns the virtual time the event is scheduled for.
 func (e *Event) Time() time.Duration { return e.at }
@@ -183,6 +273,46 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*q = old[:n-1]
+	return ev
+}
+
+// fifo is a growable ring buffer of events. Push order equals seq order
+// for same-instant events, so pop order is dispatch order.
+type fifo struct {
+	buf  []*Event
+	head int
+	n    int
+}
+
+func (f *fifo) push(ev *Event) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = ev
+	f.n++
+}
+
+func (f *fifo) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]*Event, size)
+	for i := 0; i < f.n; i++ {
+		buf[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = buf
+	f.head = 0
+}
+
+func (f *fifo) first() *Event { return f.buf[f.head] }
+
+func (f *fifo) pop() *Event {
+	ev := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
 	return ev
 }

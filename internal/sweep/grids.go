@@ -16,6 +16,10 @@ type Options struct {
 	Target uint32
 	// Seed drives every scenario (default 1).
 	Seed int64
+	// Hosts restricts host-count grids (cluster) to one size; zero runs
+	// every size. CI smoke uses Hosts=16 so the fast cell gates every
+	// push while the 64/256 cells stay on demand.
+	Hosts int
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +216,53 @@ func FanoutGrid(o Options) []Scenario {
 	return out
 }
 
+// ClusterGrid scales the three cluster workloads — hotspot contention
+// (worst case: one page bouncing between every host), barrier phases
+// (all-to-all synchronization) and the stationary-owner counter (the
+// paper's P5 discipline, the linear-load baseline) — to 16, 64 and 256
+// hosts. Work per host shrinks as the cluster grows so every cell stays
+// tractable; what the grid measures is how load and latency scale with
+// fan-out, not raw op counts. Options.Hosts restricts the grid to one
+// size (the CI smoke cell runs -hosts 16).
+func ClusterGrid(o Options) []Scenario {
+	o = o.withDefaults()
+	sizes := []int{16, 64, 256}
+	if o.Hosts != 0 {
+		sizes = []int{o.Hosts}
+	}
+	var out []Scenario
+	for _, h := range sizes {
+		// Per-host work scales down with cluster size; totals stay
+		// comparable across cells.
+		iters, phases := 16, 4
+		switch {
+		case h >= 256:
+			iters, phases = 4, 1
+		case h >= 64:
+			iters, phases = 8, 2
+		}
+		// Barrier waiters at scale must ride snoopy refreshes rather
+		// than purge-flood the wire; see Scenario.HysteresisN reuse.
+		hyst := 16 * h
+		// The hotspot anti-thrash residency scales with fan-out: every
+		// grant broadcast costs each receiving server per-byte handling
+		// time, and the grantee's client must outlive that backlog.
+		res := time.Duration(h) * 500 * time.Microsecond
+		if res < 10*time.Millisecond {
+			res = 10 * time.Millisecond
+		}
+		out = append(out,
+			Scenario{Name: fmt.Sprintf("cluster/stationary/h%d", h), Kind: KindStationary,
+				Hosts: h, Iters: iters * 2, Seed: o.Seed},
+			Scenario{Name: fmt.Sprintf("cluster/barrier/h%d", h), Kind: KindBarrier,
+				Hosts: h, Phases: phases, HysteresisN: hyst, Seed: o.Seed},
+			Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d", h), Kind: KindHotspot,
+				Hosts: h, Iters: iters, MinResidency: res, Seed: o.Seed},
+		)
+	}
+	return out
+}
+
 // SmokeGrid is the fast cross-section used by CI: one small scenario of
 // every kind plus both server placements, finishing in seconds.
 func SmokeGrid(o Options) []Scenario {
@@ -244,6 +295,7 @@ var grids = map[string]func(Options) []Scenario{
 	"pipeline":   PipelineGrid,
 	"pipes":      PipeMixGrid,
 	"fanout":     FanoutGrid,
+	"cluster":    ClusterGrid,
 	"smoke":      SmokeGrid,
 	"ablation": func(o Options) []Scenario {
 		return concat(KernelAblation(o), LossAblation(o), HysteresisSweep(o))

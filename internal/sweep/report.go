@@ -34,7 +34,7 @@ var csvColumns = []string{
 	"user_ns", "sys_ns", "server_ns", "ctx_switches",
 	"wire_bytes", "packets", "net_bytes_per_sec",
 	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_max_ns", "lat_count",
-	"deviations",
+	"events", "deviations",
 }
 
 // CSV renders the report as one header row plus one row per scenario.
@@ -61,6 +61,7 @@ func (r Report) CSV() []byte {
 			strconv.FormatInt(s.LatMeanNS, 10), strconv.FormatInt(s.LatP50NS, 10),
 			strconv.FormatInt(s.LatP90NS, 10), strconv.FormatInt(s.LatMaxNS, 10),
 			strconv.FormatUint(s.LatCount, 10),
+			strconv.FormatUint(s.Events, 10),
 			csvQuote(strings.Join(s.Deviations, "; ")),
 		}
 		for i, c := range row {

@@ -43,6 +43,10 @@ const (
 	KindBarrier Kind = "barrier"
 	// KindPipeline is the producer-consumer pipeline over Mether pipes.
 	KindPipeline Kind = "pipeline"
+	// KindStationary is the P5-style stationary-owner counter at cluster
+	// scale: every host updates its own page and passively samples a
+	// neighbour.
+	KindStationary Kind = "stationary"
 )
 
 // Scenario is one point of a sweep grid: a named, fully parameterized,
@@ -74,13 +78,16 @@ type Scenario struct {
 	Dist     workload.SizeDist
 	Messages int
 
-	// Hotspot / barrier / pipeline parameters.
+	// Hotspot / barrier / pipeline / stationary parameters.
 	Hosts     int
 	Iters     int
 	ShortPage bool
 	Phases    int
 	Stages    int
 	MsgSize   int
+	// MinResidency overrides the hotspot anti-thrash holdoff (zero =
+	// driver default); cluster cells scale it with host count.
+	MinResidency time.Duration
 
 	// Shared cost-model axes.
 	LossRate     float64
@@ -117,6 +124,11 @@ type Result struct {
 	LatP90NS  int64  `json:"lat_p90_ns"`
 	LatMaxNS  int64  `json:"lat_max_ns"`
 	LatCount  uint64 `json:"lat_count"`
+
+	// Events is the number of simulation-kernel events the scenario
+	// dispatched — deterministic like every other field; the engine
+	// throughput denominator for BENCH_sweep.json records.
+	Events uint64 `json:"events,omitempty"`
 
 	// Deviations lists paper-band violations when the scenario carries a
 	// Figure reference; empty means all checked cells agree.
@@ -181,6 +193,7 @@ func (s Scenario) Run() Result {
 		res.LatP90NS = int64(r.LatP90)
 		res.LatMaxNS = int64(r.LatMax)
 		res.LatCount = r.LatCount
+		res.Events = r.Events
 		if r.Wall > 0 {
 			res.OpsPerSec = float64(r.Additions) / r.Wall.Seconds()
 		}
@@ -224,7 +237,8 @@ func (s Scenario) Run() Result {
 	case KindHotspot:
 		r, err := workload.RunHotspot(workload.HotspotConfig{
 			Hosts: s.Hosts, Iters: s.Iters, ShortPage: s.ShortPage,
-			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			MinResidency: s.MinResidency,
+			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -234,8 +248,11 @@ func (s Scenario) Run() Result {
 		res.Ops = r.Updates
 		res.fillCluster(r.ClusterStats)
 	case KindBarrier:
+		// HysteresisN doubles as the barrier waiter's purge hysteresis:
+		// large clusters need a high value so waiters ride the snoopy
+		// refreshes instead of flooding the wire with demand fetches.
 		r, err := workload.RunBarrier(workload.BarrierConfig{
-			Hosts: s.Hosts, Phases: s.Phases,
+			Hosts: s.Hosts, Phases: s.Phases, HysteresisPurge: s.HysteresisN,
 			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -258,6 +275,18 @@ func (s Scenario) Run() Result {
 		res.Ops = uint64(r.Delivered)
 		res.OpsPerSec = r.MsgsPerSec
 		res.fillCluster(r.ClusterStats)
+	case KindStationary:
+		r, err := workload.RunStationary(workload.StationaryConfig{
+			Hosts: s.Hosts, Iters: s.Iters,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.DNF = r.DNF
+		res.Ops = r.Updates
+		res.fillCluster(r.ClusterStats)
 	default:
 		res.Err = fmt.Sprintf("sweep: unknown scenario kind %q", s.Kind)
 	}
@@ -278,6 +307,7 @@ func (r *Result) fillCluster(cs workload.ClusterStats) {
 	r.LatP90NS = int64(cs.LatP90)
 	r.LatMaxNS = int64(cs.LatMax)
 	r.LatCount = cs.LatCount
+	r.Events = cs.Events
 	if cs.Wall > 0 {
 		if r.Ops > 0 && r.OpsPerSec == 0 {
 			r.OpsPerSec = float64(r.Ops) / cs.Wall.Seconds()

@@ -19,12 +19,12 @@ import (
 // Entry is one decoded datagram observation.
 type Entry struct {
 	At         time.Duration
-	From       int8
+	From       int16
 	Type       proto.Type
 	Page       vm.PageID
 	Short      bool
 	Consistent bool
-	OwnerTo    int8
+	OwnerTo    int16
 	Gen        uint32
 	PayloadLen int
 	Malformed  bool // undecodable frame
@@ -87,7 +87,7 @@ func (l *Log) record(at time.Duration, f ethernet.Frame) {
 	pkt, err := proto.Decode(f.Payload)
 	if err != nil {
 		e.Malformed = true
-		e.From = int8(f.Src)
+		e.From = int16(f.Src)
 	} else {
 		e.From = pkt.From
 		e.Type = pkt.Type

@@ -110,6 +110,21 @@ func (f *Frame) WriteBytes(off int, src []byte) error {
 	return nil
 }
 
+// Region returns the frame contents without copying: the short region
+// if short is true, otherwise the whole page. The slice aliases the
+// frame's storage — callers must copy (or encode) it before the frame
+// can next be mutated; use Snapshot when a durable copy is needed.
+func (f *Frame) Region(short bool) []byte {
+	if short {
+		return f.data[:ShortSize]
+	}
+	return f.data[:]
+}
+
+// RestRegion returns the superset remainder [ShortSize, PageSize)
+// without copying; the same aliasing caveat as Region applies.
+func (f *Frame) RestRegion() []byte { return f.data[ShortSize:] }
+
 // Snapshot returns a copy of the frame contents: the short region if
 // short is true, otherwise the whole page.
 func (f *Frame) Snapshot(short bool) []byte {

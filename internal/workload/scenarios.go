@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mether"
+	"mether/internal/core"
 	"mether/internal/ethernet"
 	"mether/internal/stats"
 	"mether/pipe"
@@ -28,11 +29,14 @@ type ClusterStats struct {
 	CtxSwitches uint64
 	WireBytes   uint64
 	Packets     uint64
-	LatMean     time.Duration
-	LatP50      time.Duration
-	LatP90      time.Duration
-	LatMax      time.Duration
-	LatCount    uint64
+	// Events is the number of simulation-kernel events dispatched for
+	// the run (deterministic; the engine-throughput denominator).
+	Events   uint64
+	LatMean  time.Duration
+	LatP50   time.Duration
+	LatP90   time.Duration
+	LatMax   time.Duration
+	LatCount uint64
 }
 
 // collectCluster harvests ClusterStats from a finished world. extra is
@@ -55,6 +59,7 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	ns := w.NetStats()
 	cs.WireBytes = ns.WireBytes
 	cs.Packets = ns.Frames
+	cs.Events = w.EventsDispatched()
 
 	var lat stats.Histogram
 	if extra != nil {
@@ -86,8 +91,15 @@ type HotspotConfig struct {
 	ShortPage bool
 	// IncCost is the CPU cost per update (default 50 µs).
 	IncCost time.Duration
-	Seed    int64
-	Cap     time.Duration
+	// MinResidency overrides the driver's anti-thrash holdoff when
+	// positive. At large host counts the default 10 ms window expires
+	// while the grantee's client is still waiting behind its server's
+	// broadcast-handling load, so ownership leaves before the update
+	// happens and the page thrashes; cluster cells scale this with host
+	// count.
+	MinResidency time.Duration
+	Seed         int64
+	Cap          time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -133,7 +145,12 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 	if err != nil {
 		return HotspotReport{}, err
 	}
-	w := mether.NewWorld(mether.Config{Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams}
+	if cfg.MinResidency > 0 {
+		wcfg.Core = core.DefaultConfig(8)
+		wcfg.Core.MinResidency = cfg.MinResidency
+	}
+	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
 	seg, err := w.CreateSegment("hotspot", 1, 0)
 	if err != nil {

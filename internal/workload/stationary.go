@@ -1,0 +1,174 @@
+// The stationary-owner counter workload: the paper's final-protocol
+// (P5) discipline scaled to cluster size. Every host owns one page and
+// keeps it stationary — it increments a counter in its own short page
+// and broadcasts a PURGE after each update, while periodically sampling
+// a neighbour's counter with a purge + demand fetch. Because ownership
+// never moves and every update is one short broadcast, the workload's
+// network load grows linearly in host count, which is what makes 64-
+// and 256-host worlds tractable and why the paper's protocol-5 shape is
+// the scale-out baseline.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"mether"
+	"mether/internal/ethernet"
+)
+
+// StationaryConfig parameterizes the cluster-scale stationary-owner
+// counter run.
+type StationaryConfig struct {
+	// Hosts is the cluster size (default 4, min 2).
+	Hosts int
+	// Iters is the per-host update count (default 32).
+	Iters int
+	// SampleEvery makes each host sample its ring neighbour's counter
+	// (purge the local replica, then demand-fetch a fresh copy) every
+	// this many of its own updates (default 4). Demand sampling is used
+	// rather than a data-driven block because a neighbour that has
+	// finished its run produces no further transits — at 256 hosts the
+	// startup skew makes that strand passive waiters, where a demand
+	// request is always answered by the stationary owner.
+	SampleEvery int
+	// IncCost is the CPU cost per update (default 50 µs).
+	IncCost time.Duration
+	Seed    int64
+	Cap     time.Duration
+	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
+	NetParams ethernet.Params
+}
+
+// StationaryReport is the stationary run's measurements. The latency
+// fields of ClusterStats hold the driver fault-latency distribution
+// (data-driven sample waits included).
+type StationaryReport struct {
+	Hosts   int
+	Iters   int
+	Updates uint64 // total own-page updates completed
+	Samples uint64 // neighbour samples observed
+	DNF     bool
+	ClusterStats
+}
+
+func (c StationaryConfig) withDefaults() (StationaryConfig, error) {
+	if c.Hosts == 0 {
+		c.Hosts = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 32
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 4
+	}
+	if c.IncCost == 0 {
+		c.IncCost = 50 * time.Microsecond
+	}
+	if c.Cap == 0 {
+		c.Cap = 10 * time.Minute
+	}
+	if c.Hosts < 2 {
+		return c, fmt.Errorf("workload: stationary needs at least 2 hosts")
+	}
+	return c, nil
+}
+
+// RunStationary measures N hosts each updating a stationary owned page
+// and passively observing a neighbour.
+func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return StationaryReport{}, err
+	}
+	pages := cfg.Hosts
+	if pages < 8 {
+		pages = 8
+	}
+	w := mether.NewWorld(mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	defer w.Shutdown()
+	owners := make([]int, cfg.Hosts)
+	for i := range owners {
+		owners[i] = i
+	}
+	seg, err := w.CreateSegmentOwners("stationary", owners)
+	if err != nil {
+		return StationaryReport{}, err
+	}
+	capRW := seg.CapRW()
+
+	done := make([]bool, cfg.Hosts)
+	errs := make([]error, cfg.Hosts)
+	var updates, samples uint64
+	var lastFinish time.Duration
+	for i := 0; i < cfg.Hosts; i++ {
+		i := i
+		w.Spawn(i, fmt.Sprintf("stat%d", i), func(env *mether.Env) {
+			own, err := env.Attach(capRW, mether.RW)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			peers, err := env.Attach(capRW.ReadOnly(), mether.RO)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ownAddr := own.Addr(i, 0).Short()
+			peerAddr := peers.Addr((i+1)%cfg.Hosts, 0).Short()
+			for n := 0; n < cfg.Iters; n++ {
+				env.Compute(cfg.IncCost)
+				v, err := own.Load32(ownAddr)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := own.Store32(ownAddr, v+1); err != nil {
+					errs[i] = err
+					return
+				}
+				// Passive update: the stationary page never moves; one
+				// short broadcast refreshes every resident copy.
+				if err := own.Purge(ownAddr); err != nil {
+					errs[i] = err
+					return
+				}
+				updates++
+				// Forced fresh sample: purge the local replica and
+				// demand-fetch the neighbour's current value from its
+				// stationary owner. Between samples the replica rides
+				// the neighbour's purge broadcasts for free.
+				if cfg.SampleEvery > 0 && n%cfg.SampleEvery == cfg.SampleEvery-1 {
+					if err := peers.Purge(peerAddr); err != nil {
+						errs[i] = err
+						return
+					}
+					if _, err := peers.Load32(peerAddr); err != nil {
+						errs[i] = err
+						return
+					}
+					samples++
+				}
+			}
+			done[i] = true
+			if t := env.Now(); t > lastFinish {
+				lastFinish = t
+			}
+		})
+	}
+	w.RunUntil(cfg.Cap)
+	for _, err := range errs {
+		if err != nil {
+			return StationaryReport{}, err
+		}
+	}
+	r := StationaryReport{Hosts: cfg.Hosts, Iters: cfg.Iters, Updates: updates, Samples: samples}
+	for _, d := range done {
+		if !d {
+			r.DNF = true
+			lastFinish = w.Now()
+		}
+	}
+	r.ClusterStats = collectCluster(w, lastFinish, nil)
+	return r, nil
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStationaryCompletes runs the P5-style stationary-owner counter at
+// several cluster sizes: every host finishes all its updates, total
+// updates add up, and the sampling path observed the neighbours.
+func TestStationaryCompletes(t *testing.T) {
+	for _, hosts := range []int{2, 4, 16} {
+		r, err := RunStationary(StationaryConfig{Hosts: hosts, Iters: 8, Seed: 1})
+		if err != nil {
+			t.Fatalf("hosts=%d: %v", hosts, err)
+		}
+		if r.DNF {
+			t.Fatalf("hosts=%d: did not finish (updates=%d)", hosts, r.Updates)
+		}
+		if want := uint64(hosts * 8); r.Updates != want {
+			t.Errorf("hosts=%d: updates = %d, want %d", hosts, r.Updates, want)
+		}
+		if r.Samples == 0 {
+			t.Errorf("hosts=%d: no neighbour samples observed", hosts)
+		}
+		if r.Wall <= 0 || r.Packets == 0 || r.Events == 0 {
+			t.Errorf("hosts=%d: implausible stats %+v", hosts, r.ClusterStats)
+		}
+	}
+}
+
+// TestStationaryNetworkLoadScalesLinearly pins the property that makes
+// the stationary discipline the scale-out baseline: per-update packet
+// cost must not grow with cluster size (ownership never moves, one
+// broadcast per update).
+func TestStationaryNetworkLoadScalesLinearly(t *testing.T) {
+	perUpdate := func(hosts int) float64 {
+		r, err := RunStationary(StationaryConfig{Hosts: hosts, Iters: 16, Seed: 1})
+		if err != nil || r.DNF {
+			t.Fatalf("hosts=%d: err=%v dnf=%v", hosts, err, r.DNF)
+		}
+		return float64(r.Packets) / float64(r.Updates)
+	}
+	small, large := perUpdate(4), perUpdate(16)
+	if large > 2*small {
+		t.Errorf("packets/update grew superlinearly: %d hosts -> %.2f, %d hosts -> %.2f", 4, small, 16, large)
+	}
+}
+
+// TestStationaryRejectsBadConfig covers the validation path.
+func TestStationaryRejectsBadConfig(t *testing.T) {
+	if _, err := RunStationary(StationaryConfig{Hosts: 1}); err == nil {
+		t.Error("1-host stationary run should be rejected")
+	}
+}
+
+// TestStationaryDeterministic: equal seeds, equal reports.
+func TestStationaryDeterministic(t *testing.T) {
+	run := func() StationaryReport {
+		r, err := RunStationary(StationaryConfig{Hosts: 4, Iters: 8, Seed: 7, Cap: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different reports:\n%+v\n%+v", a, b)
+	}
+}

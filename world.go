@@ -174,6 +174,11 @@ func (w *World) HostMachine(hostIdx int) *host.Host { return w.hosts[hostIdx] }
 // NetStats returns the Ethernet segment counters.
 func (w *World) NetStats() ethernet.Stats { return w.bus.Stats() }
 
+// EventsDispatched returns the number of simulation-kernel events
+// executed so far — a deterministic measure of engine work, used by
+// sweep throughput records (events/sec, allocs/event).
+func (w *World) EventsDispatched() uint64 { return w.k.Dispatched() }
+
 // ContextSwitches returns a host's dispatch count.
 func (w *World) ContextSwitches(hostIdx int) uint64 { return w.hosts[hostIdx].ContextSwitches() }
 
