@@ -1,25 +1,31 @@
 # Tier-1 verification and developer targets for the Mether reproduction.
 #
-#   make ci           - everything the tier-1 gate runs: format check, vet,
-#                       tests, race tests, smoke sweep, a bench smoke pass
-#                       and a 16-host cluster smoke sweep
-#   make test         - go build + go test ./...
-#   make race         - go test -race ./...
-#   make smoke        - a fast cross-section sweep through cmd/methersweep
-#   make sweep        - the full paper grid at scale 1024 (slow)
-#   make cluster      - the 16/64/256-host cluster grid (slow)
-#   make bench        - the hot-path microbenchmarks (kernel dispatch,
-#                       bus broadcast, full counter runs) plus the figure
-#                       benchmarks at reduced scale
-#   make bench-smoke  - the microbenchmarks once (-benchtime=1x), as CI runs them
-#   make bench-record - regenerate BENCH_sweep.json, the engine-throughput
-#                       trajectory record (worlds/sec, events/sec, allocs/event)
+#   make ci            - everything the tier-1 gate runs: format check, vet,
+#                        tests, race tests, smoke sweep, a bench smoke pass
+#                        and a 16-host cluster smoke sweep (which also gates
+#                        the engine on an allocs/event ceiling of 0.1)
+#   make test          - go build + go test ./...
+#   make race          - go test -race ./...
+#   make smoke         - a fast cross-section sweep through cmd/methersweep
+#   make sweep         - the full paper grid at scale 1024 (slow)
+#   make cluster       - the 16/64/256-host cluster grid incl. the loss and
+#                        kernel-server axes at 256 hosts (slow)
+#   make cluster-large - the 1024-host tier of the cluster grid (slower;
+#                        kept out of `make cluster` so bench records stay
+#                        comparable across PRs)
+#   make bench         - the hot-path microbenchmarks (kernel dispatch incl.
+#                        the 4096-deep timer population, host sleep/wake and
+#                        quantum rotation, bus broadcast, full counter runs)
+#                        plus the figure benchmarks at reduced scale
+#   make bench-smoke   - the microbenchmarks once (-benchtime=1x), as CI runs them
+#   make bench-record  - regenerate BENCH_sweep.json, the engine-throughput
+#                        trajectory record (worlds/sec, events/sec, allocs/event)
 
 GO ?= go
 
-MICROBENCH = BenchmarkKernelDispatch|BenchmarkKernelDispatchImmediate|BenchmarkKernelScheduleCancel|BenchmarkBusBroadcast|BenchmarkCounterRun
+MICROBENCH = BenchmarkKernelDispatch|BenchmarkKernelDispatchImmediate|BenchmarkKernelDispatchDeep|BenchmarkKernelScheduleCancel|BenchmarkHostSleepWake|BenchmarkHostQuantumRotation|BenchmarkBusBroadcast|BenchmarkCounterRun
 
-.PHONY: ci fmt-check vet test race smoke cluster-smoke sweep cluster bench bench-smoke bench-record
+.PHONY: ci fmt-check vet test race smoke cluster-smoke cluster-large sweep cluster bench bench-smoke bench-record
 
 ci: fmt-check vet test race smoke bench-smoke cluster-smoke
 
@@ -41,7 +47,10 @@ smoke:
 	$(GO) run ./cmd/methersweep -grid smoke -format summary
 
 cluster-smoke:
-	$(GO) run ./cmd/methersweep -grid cluster -hosts 16 -format summary
+	$(GO) run ./cmd/methersweep -grid cluster -hosts 16 -alloc-ceiling 0.1 -format summary
+
+cluster-large:
+	$(GO) run ./cmd/methersweep -grid cluster -hosts 1024 -format summary
 
 sweep:
 	$(GO) run ./cmd/methersweep -grid paper -target 1024 -format summary
@@ -50,11 +59,11 @@ cluster:
 	$(GO) run ./cmd/methersweep -grid cluster -format summary
 
 bench:
-	$(GO) test -run - -bench '$(MICROBENCH)' ./internal/sim ./internal/ethernet ./internal/protocols
+	$(GO) test -run - -bench '$(MICROBENCH)' ./internal/sim ./internal/host ./internal/ethernet ./internal/protocols
 	$(GO) test -run - -bench BenchmarkFigures -benchtime 1x .
 
 bench-smoke:
-	$(GO) test -run - -bench '$(MICROBENCH)' -benchtime 1x ./internal/sim ./internal/ethernet ./internal/protocols
+	$(GO) test -run - -bench '$(MICROBENCH)' -benchtime 1x ./internal/sim ./internal/host ./internal/ethernet ./internal/protocols
 
 bench-record:
 	$(GO) run ./cmd/methersweep -grid cluster -bench-out BENCH_sweep.json -format summary

@@ -50,6 +50,7 @@ var (
 	flagCPUProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flagMemProf   = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	flagBenchOut  = flag.String("bench-out", "", "write an engine-throughput record (worlds/sec, events/sec, allocs/event) to this JSON file")
+	flagAllocCeil = flag.Float64("alloc-ceiling", 0, "fail if the sweep allocates more than this per dispatched event (0 = no gate)")
 )
 
 // benchRecord is the engine-throughput trajectory point -bench-out
@@ -123,10 +124,37 @@ func main() {
 	runtime.ReadMemStats(&msBefore)
 
 	report, timing := sweep.Runner{Workers: workers}.Run(*flagGrid, scs)
+	// One post-sweep MemStats snapshot serves both the bench record and
+	// the alloc gate, taken before anything else (bench-out marshalling,
+	// file writes) can allocate against the sweep's budget.
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	if *flagBenchOut != "" {
-		if err := writeBenchRecord(*flagBenchOut, report, timing, msBefore); err != nil {
+		if err := writeBenchRecord(*flagBenchOut, report, timing, msBefore, msAfter); err != nil {
 			fatal(err)
+		}
+	}
+	// The allocs/event ceiling is a regression gate on the engine's
+	// zero-allocation hot path: CI runs the cluster smoke cell with
+	// -alloc-ceiling 0.1 so a leaked per-event allocation fails the
+	// build instead of quietly eroding throughput.
+	allocFailure := false
+	if *flagAllocCeil > 0 {
+		after := msAfter
+		var events uint64
+		for _, s := range report.Scenarios {
+			events += s.Events
+		}
+		if events == 0 {
+			fmt.Fprintf(os.Stderr, "alloc gate: no events dispatched, cannot compute allocs/event\n")
+			allocFailure = true
+		} else if perEvent := float64(after.Mallocs-msBefore.Mallocs) / float64(events); perEvent > *flagAllocCeil {
+			fmt.Fprintf(os.Stderr, "alloc gate: %.4f allocs/event exceeds ceiling %.4f (%d allocs over %d events)\n",
+				perEvent, *flagAllocCeil, after.Mallocs-msBefore.Mallocs, events)
+			allocFailure = true
+		} else {
+			fmt.Fprintf(os.Stderr, "alloc gate: %.4f allocs/event within ceiling %.4f\n", perEvent, *flagAllocCeil)
 		}
 	}
 	if *flagMemProf != "" {
@@ -170,6 +198,9 @@ func main() {
 	// the band checks exist to catch calibration drift, so drifting
 	// outside them must flip the exit code.
 	failures := 0
+	if allocFailure {
+		failures++
+	}
 	for _, r := range report.Scenarios {
 		if r.Err != "" {
 			fmt.Fprintf(os.Stderr, "scenario %s failed: %s\n", r.Name, r.Err)
@@ -212,9 +243,7 @@ func main() {
 
 // writeBenchRecord aggregates the run's engine-throughput numbers and
 // writes the BENCH_sweep.json trajectory point.
-func writeBenchRecord(path string, report sweep.Report, timing sweep.Timing, before runtime.MemStats) error {
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
+func writeBenchRecord(path string, report sweep.Report, timing sweep.Timing, before, after runtime.MemStats) error {
 	rec := benchRecord{
 		Grid:        report.Grid,
 		Scenarios:   len(report.Scenarios),

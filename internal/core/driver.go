@@ -161,6 +161,8 @@ func (d *Driver) page(id vm.PageID) *pageState {
 	st := d.pages[id]
 	if st == nil {
 		st = &pageState{page: id, frame: &vm.Frame{}, grantedTo: proto.NoOwner, grantedRestTo: proto.NoOwner}
+		st.waitK = waitKey{id}
+		st.purgeK = purgeKey{id}
 		d.pages[id] = st
 	}
 	return st
@@ -174,6 +176,25 @@ func (d *Driver) CreatePage(id vm.PageID) {
 	st.restOwner = true
 	st.shortPresent = true
 	st.restPresent = true
+}
+
+// SeedReplica installs a warm zero-filled read-only replica of a page,
+// as if a broadcast of the owner's (still zero-filled, generation-zero)
+// copy had already transited. Large-cluster scenarios seed replicas at
+// world build to model a long-running cluster with resident copies:
+// without it, every host's attach must demand-fetch every page, and the
+// resulting request broadcasts — each ingested by every host — make
+// cold start an O(hosts³) event storm that swamps the workload being
+// measured. A no-op on the owning host.
+func (d *Driver) SeedReplica(id vm.PageID) {
+	st := d.page(id)
+	if st.owner {
+		return
+	}
+	st.shortPresent = true
+	if !st.restOwner {
+		st.restPresent = true
+	}
 }
 
 // MapIn maps a page into the given space. Per Figure 1 ("mapping a page
@@ -340,7 +361,7 @@ func (d *Driver) demandFault(p *host.Proc, st *pageState, needs needSet) error {
 		st.wantRest = true
 	}
 	d.queueRequest(st)
-	p.SleepOn(waitKey{st.page})
+	p.SleepOn(st.waitK)
 	return nil
 }
 
@@ -360,11 +381,11 @@ func (d *Driver) dataFault(p *host.Proc, st *pageState) error {
 		d.m.DataFallbacks++
 		st.wantShort = true
 		d.queueRequest(st)
-		p.SleepOn(waitKey{st.page})
+		p.SleepOn(st.waitK)
 		return nil
 	}
 	st.dataWaiters++
-	p.SleepOn(waitKey{st.page})
+	p.SleepOn(st.waitK)
 	st.dataWaiters--
 	return nil
 }
@@ -465,7 +486,7 @@ func (d *Driver) Purge(p *host.Proc, mode Mode, a Addr) error {
 		st.purgeShort = a.IsShort()
 		d.enqueueWork(workItem{kind: workPurge, page: st.page})
 		for st.purgePending {
-			p.SleepOn(purgeKey{st.page})
+			p.SleepOn(st.purgeK)
 		}
 		return nil
 	}

@@ -138,7 +138,7 @@ func (d *Driver) servePurge(p cpuSink, st *pageState) {
 	// DO-PURGE: clear purge pending and wake the waiting process.
 	st.purgePending = false
 	d.flushDeferred(st)
-	d.h.Wakeup(purgeKey{st.page})
+	d.h.Wakeup(st.purgeK)
 }
 
 // serveRequest answers a remote demand request if this host can.
@@ -322,7 +322,7 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 	// Every transit wakes the page's waiters: data-driven sleepers must
 	// observe every passing copy (they compare generations themselves),
 	// and demand waiters re-check their needs.
-	d.h.Wakeup(waitKey{st.page})
+	d.h.Wakeup(st.waitK)
 }
 
 // serveRestRequest answers a remainder fetch if we hold the authority.
@@ -375,5 +375,5 @@ func (d *Driver) handleRestData(st *pageState, pkt proto.Packet) {
 		}
 		d.m.Refreshes++
 	}
-	d.h.Wakeup(waitKey{st.page})
+	d.h.Wakeup(st.waitK)
 }

@@ -79,6 +79,12 @@ type pageState struct {
 
 	// deferred requests received while the page was locked or mid-purge.
 	deferred []deferredReq
+
+	// waitK and purgeK are the page's sleep keys boxed once at pageState
+	// creation: SleepOn/Wakeup take `any`, and converting a struct key at
+	// every fault or transit would allocate on the hottest paths.
+	waitK  any
+	purgeK any
 }
 
 type deferredReq struct {

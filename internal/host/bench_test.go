@@ -1,0 +1,58 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"mether/internal/sim"
+)
+
+// BenchmarkHostSleepWake measures the sleep/wake round trip — the shape
+// of every fault wait and server doze in the Mether protocols: a
+// process blocks on a wait key, a kernel event wakes it, the scheduler
+// dispatches it with a wake boost armed. Steady state must not
+// allocate: the wait key is boxed once, the sleeper slice keeps its
+// capacity across cycles, and boost timers are pooled.
+func BenchmarkHostSleepWake(b *testing.B) {
+	k := sim.New(1)
+	h := New(k, 0, "bench", DefaultParams())
+	var key any = "benchkey"
+	n := 0
+	var wake func()
+	wake = func() {
+		h.Wakeup(key)
+		if n < b.N {
+			k.After(50*time.Microsecond, "waker", wake)
+		}
+	}
+	h.Spawn("sleeper", func(p *Proc) {
+		for n < b.N {
+			n++
+			p.SleepOn(key)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(50*time.Microsecond, "waker", wake)
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkHostQuantumRotation measures two compute-bound processes
+// alternating whole quanta — the paper's mutual-spinner baseline. Every
+// quantum expiry re-enqueues, context-switches and dispatches through
+// precomputed closures, so steady state must not allocate.
+func BenchmarkHostQuantumRotation(b *testing.B) {
+	k := sim.New(1)
+	h := New(k, 0, "bench", DefaultParams())
+	per := h.Params().Quantum * time.Duration(b.N/2+1)
+	for i := 0; i < 2; i++ {
+		h.Spawn("spinner", func(p *Proc) { p.UseUser(per) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+}

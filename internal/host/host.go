@@ -91,7 +91,10 @@ const (
 
 // Trace, when set, receives one line per scheduling event (dispatches,
 // quantum expiries, boost preemptions). Intended for debugging and tests;
-// nil disables tracing.
+// nil disables tracing. Call sites guard with `if Trace != nil` before
+// invoking tracef: a bare variadic call boxes its arguments even when
+// tracing is off, which was the host layer's last per-dispatch
+// allocation.
 var Trace func(format string, args ...any)
 
 func tracef(format string, args ...any) {
@@ -107,13 +110,26 @@ type Host struct {
 	name string
 	pr   Params
 
-	cur         *Proc
+	cur *Proc
+	// runq is drained via runqHead instead of re-slicing so the backing
+	// array is reused once the queue empties (an advancing-front slice
+	// sheds capacity and reallocates on every wrap).
 	runq        []*Proc
+	runqHead    int
 	dispatching bool
 	ctxSwitches uint64
-	sleepers    map[any][]*Proc
-	procs       []*Proc
-	busy        time.Duration // total CPU busy time
+	// sleepers keys wait slices by the caller's wait key. Emptied slices
+	// keep their entry (and backing array) instead of being deleted, so a
+	// sleep/wake cycle on a recurring key never reallocates; the map is
+	// bounded by the world's distinct key population (pages × 2 + hosts).
+	sleepers map[any][]*Proc
+	procs    []*Proc
+	busy     time.Duration // total CPU busy time
+
+	// boostFree recycles wake-boost timers: each carries a prebuilt
+	// closure, so arming a boost on the wake hot path allocates nothing
+	// in steady state.
+	boostFree []*boostTimer
 
 	// Precomputed event names (hot paths must not concatenate strings).
 	boostName string
@@ -230,18 +246,38 @@ func (h *Host) enqueue(p *Proc) {
 	}
 	p.state = stateRunnable
 	p.inRunq = true
+	if h.runqHead > 0 && len(h.runq) == cap(h.runq) {
+		// Compact the live region over the consumed prefix instead of
+		// letting append reallocate: a host whose queue never fully
+		// drains (two spinners alternating quanta) would otherwise grow
+		// the backing array by one slot per context switch forever.
+		n := copy(h.runq, h.runq[h.runqHead:])
+		for i := n; i < len(h.runq); i++ {
+			h.runq[i] = nil
+		}
+		h.runq = h.runq[:n]
+		h.runqHead = 0
+	}
 	h.runq = append(h.runq, p)
 }
+
+// runnable returns the number of processes waiting in the run queue.
+func (h *Host) runnable() int { return len(h.runq) - h.runqHead }
 
 // maybeDispatch starts a context switch to the head of the run queue if
 // the CPU is idle. Safe to call from kernel event context.
 func (h *Host) maybeDispatch() {
-	if h.cur != nil || h.dispatching || len(h.runq) == 0 {
+	if h.cur != nil || h.dispatching || h.runnable() == 0 {
 		return
 	}
 	h.dispatching = true
-	next := h.runq[0]
-	h.runq = h.runq[1:]
+	next := h.runq[h.runqHead]
+	h.runq[h.runqHead] = nil
+	h.runqHead++
+	if h.runqHead == len(h.runq) {
+		h.runq = h.runq[:0]
+		h.runqHead = 0
+	}
 	next.inRunq = false
 	h.ctxSwitches++
 	delay := h.pr.CtxSwitch + h.pr.DispatchLatency
@@ -261,7 +297,9 @@ func (h *Host) finishDispatch(next *Proc) {
 	next.quantumUsed = 0
 	next.sys += h.pr.CtxSwitch
 	h.busy += h.pr.CtxSwitch
-	tracef("%v %s: dispatch %s", h.k.Now(), h.name, next.name)
+	if Trace != nil {
+		tracef("%v %s: dispatch %s", h.k.Now(), h.name, next.name)
+	}
 	next.sp.Wake()
 }
 
@@ -321,11 +359,13 @@ func (p *Proc) charge(d time.Duration, kind CPUKind) {
 // quantumExpire rotates the CPU to the next runnable process, if any.
 func (p *Proc) quantumExpire() {
 	h := p.h
-	if len(h.runq) == 0 {
+	if h.runnable() == 0 {
 		p.quantumUsed = 0 // alone: keep running, fresh quantum
 		return
 	}
-	tracef("%v %s: quantum expire %s (runq %d)", h.k.Now(), h.name, p.name, len(h.runq))
+	if Trace != nil {
+		tracef("%v %s: quantum expire %s (runq %d)", h.k.Now(), h.name, p.name, h.runnable())
+	}
 	h.cur = nil
 	h.enqueue(p)
 	h.maybeDispatch()
@@ -393,7 +433,10 @@ func (h *Host) Wakeup(key any) {
 	if len(ps) == 0 {
 		return
 	}
-	delete(h.sleepers, key)
+	// Retain the entry with its capacity; ps stays a stable snapshot
+	// because no process can re-sleep on the key until this event
+	// callback has returned control to the kernel.
+	h.sleepers[key] = ps[:0]
 	for _, p := range ps {
 		if p.state != stateBlocked {
 			continue
@@ -412,6 +455,30 @@ func (h *Host) Wakeup(key any) {
 	}
 }
 
+// boostTimer is one in-flight wake-boost: the woken process, the
+// dispatch epoch captured at arm time, and a closure built once (when
+// the timer is first allocated) so re-arming from the pool is
+// allocation-free. Timers return to the host's pool when they fire.
+type boostTimer struct {
+	h     *Host
+	woken *Proc
+	epoch uint64
+	fn    func()
+}
+
+// fire applies the boost if it is still fresh, then recycles the timer.
+func (bt *boostTimer) fire() {
+	h, woken := bt.h, bt.woken
+	if woken.dispatchSeq == bt.epoch && woken.state == stateRunnable && woken.inRunq && h.cur != nil {
+		if Trace != nil {
+			tracef("%v %s: boost preempts %s for %s", h.k.Now(), h.name, h.cur.name, woken.name)
+		}
+		h.cur.quantumUsed = h.pr.Quantum
+	}
+	bt.woken = nil
+	h.boostFree = append(h.boostFree, bt)
+}
+
 // armWakeBoost schedules the wakeup priority boost for a just-woken
 // process: if it is still waiting for the CPU after WakeBoostDelay, the
 // current runner's quantum is exhausted so it yields at its next
@@ -424,17 +491,22 @@ func (h *Host) armWakeBoost(woken *Proc) {
 	if h.pr.WakeBoostDelay <= 0 {
 		return
 	}
+	var bt *boostTimer
+	if n := len(h.boostFree); n > 0 {
+		bt = h.boostFree[n-1]
+		h.boostFree[n-1] = nil
+		h.boostFree = h.boostFree[:n-1]
+	} else {
+		bt = &boostTimer{h: h}
+		bt.fn = bt.fire
+	}
+	bt.woken = woken
 	// Capture the dispatch epoch: if the woken process runs (is
 	// dispatched) before the boost fires, the boost is stale and must be
 	// discarded — otherwise it would preempt whoever runs later (often
 	// the server) in favour of a process that already had its turn.
-	epoch := woken.dispatchSeq
-	h.k.After(h.pr.WakeBoostDelay, h.boostName, func() {
-		if woken.dispatchSeq == epoch && woken.state == stateRunnable && woken.inRunq && h.cur != nil {
-			tracef("%v %s: boost preempts %s for %s", h.k.Now(), h.name, h.cur.name, woken.name)
-			h.cur.quantumUsed = h.pr.Quantum
-		}
-	})
+	bt.epoch = woken.dispatchSeq
+	h.k.After(h.pr.WakeBoostDelay, h.boostName, bt.fn)
 }
 
 // Interrupt models a hardware interrupt: after the configured interrupt

@@ -44,6 +44,29 @@ func BenchmarkKernelDispatchImmediate(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkKernelDispatchDeep measures dispatch with ~4096 timers
+// pending at all times — the cluster-scale shape (per-host retries,
+// boosts, sleeps) where a binary heap pays O(log n) sift work per event
+// and the timing wheel pays a depth-independent constant.
+func BenchmarkKernelDispatchDeep(b *testing.B) {
+	const depth = 4096
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n+depth <= b.N {
+			k.After(depth*time.Microsecond, "tick", tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 1; i <= depth; i++ {
+		k.After(time.Duration(i)*time.Microsecond, "tick", tick)
+	}
+	k.Run()
+}
+
 // BenchmarkKernelScheduleCancel measures the schedule-then-cancel churn
 // of retry timers: the event never fires but must be queued, cancelled
 // (dropping its closure immediately) and reclaimed on pop.

@@ -1,25 +1,33 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel maintains a virtual clock and an event queue ordered by
-// (time, insertion sequence). Simulated processes are goroutines that run
-// under a strict single-runner handoff discipline: at any instant at most
-// one process goroutine executes, and control passes back to the kernel
-// whenever the process blocks (Sleep, Park) or exits. Together with a
-// seeded random source this makes every simulation bit-reproducible.
+// The kernel maintains a virtual clock and dispatches events in exact
+// (time, insertion sequence) order. Simulated processes are goroutines
+// that run under a strict single-runner handoff discipline: at any
+// instant at most one process goroutine executes, and control passes
+// back to the kernel whenever the process blocks (Sleep, Park) or
+// exits. Together with a seeded random source this makes every
+// simulation bit-reproducible.
 //
 // The package is intentionally free of real-time dependencies: virtual
 // time is a time.Duration measured from the start of the run, and nothing
 // ever consults the wall clock.
 //
-// The dispatch core is allocation-free in steady state: fired events are
-// recycled through a freelist, and same-instant events (the After(0)
-// wakeup/interrupt/handoff shape that dominates protocol-heavy runs)
-// bypass the heap through a FIFO run queue. Neither optimization is
-// observable: events still execute in exact (time, sequence) order.
+// The dispatch core is allocation-free in steady state and its cost does
+// not grow with the pending-event population. Future events live in a
+// hierarchical timing wheel (eight levels of 256 power-of-two buckets;
+// see wheel.go for the structure and the determinism argument), giving
+// O(1) schedule and cancel where a binary heap pays O(log n) sift work
+// per event. Same-instant events — the After(0) wakeup/interrupt/handoff
+// shape that dominates protocol-heavy runs — bypass the wheel entirely
+// through a FIFO run queue, the wheel's de facto level zero. Fired
+// events are recycled through a freelist and cancellation unlinks the
+// event from its bucket immediately instead of letting it ride the
+// queue until its timestamp comes up. None of this is observable:
+// events still execute in exact (time, sequence) order, proven by the
+// randomized differential test against a reference priority list.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -32,7 +40,13 @@ import (
 type Kernel struct {
 	now   time.Duration
 	seq   uint64
-	queue eventQueue
+	wheel wheel
+	// due stages the events of the instant the wheel cursor last advanced
+	// to, in (time, seq) order; dispatch drains it before consulting runq
+	// (everything in due was scheduled before anything now entering runq,
+	// so due seqs are strictly lower).
+	due     []*Event
+	dueHead int
 	// runq is the same-instant FIFO fast path: events scheduled for the
 	// current time in strictly increasing seq order, so FIFO order is
 	// (time, seq) order. The clock cannot advance while runq is
@@ -40,7 +54,7 @@ type Kernel struct {
 	runq fifo
 	// free recycles fired and cancelled events. Events are reset before
 	// reuse; holding a *Event after its callback has run (or after
-	// cancelling and releasing it) is a caller bug.
+	// cancelling it) is a caller bug.
 	free       []*Event
 	rng        *rand.Rand
 	procs      []*Proc
@@ -67,6 +81,12 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// ReserveRunq pre-sizes the same-instant run queue to hold at least n
+// events without growing (rounded up to a power of two). World builders
+// call it with a multiple of the host count so steady-state dispatch
+// never pays the ring-doubling copy.
+func (k *Kernel) ReserveRunq(n int) { k.runq.reserve(n) }
+
 // alloc takes an event from the freelist or the heap.
 func (k *Kernel) alloc() *Event {
 	if n := len(k.free); n > 0 {
@@ -75,14 +95,14 @@ func (k *Kernel) alloc() *Event {
 		k.free = k.free[:n-1]
 		return ev
 	}
-	return &Event{}
+	return &Event{pos: posNone}
 }
 
 // release resets a popped event and returns it to the freelist. The
 // closure and name references are dropped so they become collectable
 // immediately.
 func (k *Kernel) release(ev *Event) {
-	*ev = Event{index: -1}
+	*ev = Event{pos: posNone}
 	k.free = append(k.free, ev)
 }
 
@@ -97,15 +117,17 @@ func (k *Kernel) At(t time.Duration, name string, fn func()) *Event {
 	}
 	k.seq++
 	ev := k.alloc()
+	ev.k = k
 	ev.at = t
 	ev.seq = k.seq
 	ev.name = name
 	ev.fn = fn
+	ev.cancelled = false
 	if t == k.now {
-		ev.index = -1
+		ev.pos = posNone
 		k.runq.push(ev)
 	} else {
-		heap.Push(&k.queue, ev)
+		k.wheel.schedule(ev)
 	}
 	return ev
 }
@@ -127,52 +149,49 @@ func (k *Kernel) Run() time.Duration {
 	return k.RunUntil(1<<63 - 1)
 }
 
-// peek returns the next event in (time, seq) order without removing it,
-// or nil when both queues are empty.
-func (k *Kernel) peek() *Event {
-	if k.runq.n > 0 {
-		f := k.runq.first()
-		if k.queue.Len() > 0 {
-			if h := k.queue[0]; h.at < f.at || (h.at == f.at && h.seq < f.seq) {
-				return h
-			}
-		}
-		return f
-	}
-	if k.queue.Len() > 0 {
-		return k.queue[0]
-	}
-	return nil
-}
-
 // RunUntil executes events with timestamps no later than deadline, then
 // advances the clock to min(deadline, time of last event) and returns it.
 // If the queue drains earlier, the clock is left at the last event time.
 func (k *Kernel) RunUntil(deadline time.Duration) time.Duration {
 	for !k.stopped {
-		next := k.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
-			k.now = deadline
-			return k.now
-		}
-		if k.runq.n > 0 && next == k.runq.first() {
-			k.runq.pop()
-		} else {
-			heap.Pop(&k.queue)
-		}
-		if next.cancelled {
-			k.release(next)
+		var ev *Event
+		switch {
+		case k.dueHead < len(k.due):
+			ev = k.due[k.dueHead]
+			if ev.at > deadline {
+				k.now = deadline
+				return k.now
+			}
+			k.due[k.dueHead] = nil
+			k.dueHead++
+		case k.runq.n > 0:
+			if k.runq.first().at > deadline {
+				k.now = deadline
+				return k.now
+			}
+			ev = k.runq.pop()
+		default:
+			k.due = k.due[:0]
+			k.dueHead = 0
+			switch k.advance(int64(deadline)) {
+			case advEmpty:
+				return k.now
+			case advDeadline:
+				k.now = deadline
+				return k.now
+			}
 			continue
 		}
-		k.now = next.at
+		if ev.cancelled {
+			k.release(ev)
+			continue
+		}
+		k.now = ev.at
 		k.dispatched++
-		fn := next.fn
-		next.fn = nil
+		fn := ev.fn
+		ev.fn = nil
 		fn()
-		k.release(next)
+		k.release(ev)
 	}
 	return k.now
 }
@@ -189,8 +208,12 @@ func (k *Kernel) Idle() []string {
 	return out
 }
 
-// PendingEvents returns the number of events waiting in the queue.
-func (k *Kernel) PendingEvents() int { return k.queue.Len() + k.runq.n }
+// PendingEvents returns the number of events waiting to run. Cancelled
+// events are unlinked (and stop counting) immediately, except for the
+// bounded few already staged for the current instant.
+func (k *Kernel) PendingEvents() int {
+	return k.wheel.cnt + (len(k.due) - k.dueHead) + k.runq.n
+}
 
 // Dispatched returns the number of events executed so far. It is a pure
 // function of the simulation (virtual events, not wall time), so equal
@@ -220,18 +243,28 @@ type Event struct {
 	seq       uint64
 	name      string
 	fn        func()
+	k         *Kernel
 	cancelled bool
-	index     int
+	// Wheel linkage: doubly-linked bucket list plus the packed
+	// (level, bucket) position, posNone when not wheel-resident.
+	next, prev *Event
+	pos        int32
 }
 
-// Cancel prevents the event from running and immediately drops the
-// callback (so everything the closure pins becomes collectable without
-// waiting for heap removal). Cancelling an event that has already fired
-// is a no-op only as long as the Event has not been recycled; see the
-// retention rule on Event.
+// Cancel prevents the event from running. A wheel-resident event is
+// unlinked from its bucket and recycled immediately — O(1), no dead
+// event rides the queue until its timestamp comes up — so Cancel must
+// be called at most once, and the reference dropped afterwards (the
+// same retention rule that applies after an event has fired). The
+// callback is released either way, so everything the closure pins
+// becomes collectable at once.
 func (e *Event) Cancel() {
 	e.cancelled = true
 	e.fn = nil
+	if e.pos >= 0 {
+		e.k.wheel.unlink(e)
+		e.k.release(e)
+	}
 }
 
 // Time returns the virtual time the event is scheduled for.
@@ -244,42 +277,9 @@ func (e *Event) String() string {
 	return fmt.Sprintf("event %q @%v", e.name, e.at)
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// fifo is a growable ring buffer of events. Push order equals seq order
-// for same-instant events, so pop order is dispatch order.
+// fifo is a growable power-of-two ring buffer of events, indexed with
+// mask arithmetic. Push order equals seq order for same-instant events,
+// so pop order is dispatch order.
 type fifo struct {
 	buf  []*Event
 	head int
@@ -288,20 +288,32 @@ type fifo struct {
 
 func (f *fifo) push(ev *Event) {
 	if f.n == len(f.buf) {
-		f.grow()
+		f.grow(f.n + 1)
 	}
-	f.buf[(f.head+f.n)%len(f.buf)] = ev
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = ev
 	f.n++
 }
 
-func (f *fifo) grow() {
+// reserve pre-sizes the ring to hold at least min events.
+func (f *fifo) reserve(min int) {
+	if min > len(f.buf) {
+		f.grow(min)
+	}
+}
+
+// grow replaces the ring with one of power-of-two capacity >= min
+// (at least 64, at least double the current), preserving order.
+func (f *fifo) grow(min int) {
 	size := len(f.buf) * 2
-	if size == 0 {
+	if size < 64 {
 		size = 64
+	}
+	for size < min {
+		size *= 2
 	}
 	buf := make([]*Event, size)
 	for i := 0; i < f.n; i++ {
-		buf[i] = f.buf[(f.head+i)%len(f.buf)]
+		buf[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
 	}
 	f.buf = buf
 	f.head = 0
@@ -312,7 +324,7 @@ func (f *fifo) first() *Event { return f.buf[f.head] }
 func (f *fifo) pop() *Event {
 	ev := f.buf[f.head]
 	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
+	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.n--
 	return ev
 }

@@ -1,0 +1,222 @@
+package sim
+
+import "math/bits"
+
+// The hierarchical timing wheel replacing the former container/heap
+// event queue. Virtual timestamps are int64 nanoseconds; the wheel has
+// eight levels of 256 power-of-two buckets, level L bucket spanning
+// 2^(8L) ns, so together the levels cover the full non-negative int64
+// range with no overflow list.
+//
+// Placement rule: an event lands at the level of the highest-order byte
+// in which its timestamp differs from the wheel cursor, in the bucket
+// indexed by that byte of the timestamp. Because the event shares every
+// byte above that level with the cursor, its bucket lies within the
+// level's current window and bucket positions never wrap — the cursor
+// can jump straight to the next occupied bucket (found by per-level
+// occupancy bitmaps) instead of ticking through empty slots.
+//
+// Determinism argument (why the wheel dispatches in exact (time, seq)
+// order, making the refactor virtual-time-neutral):
+//
+//  1. A level-0 bucket spans a single nanosecond, so every event in it
+//     carries the same timestamp; draining it in list order is (time,
+//     seq) order provided the list is seq-sorted.
+//  2. Every bucket list is seq-sorted at all times: direct schedules
+//     append events with strictly increasing seq; a cascade moves a
+//     whole bucket in traversal order, preserving relative seq order;
+//     and a cascade into a bucket always happens at the instant the
+//     cursor enters the enclosing window — before any direct schedule
+//     into that window is possible (a direct schedule requires the
+//     cursor to already share the window prefix), so cascaded
+//     lower-seq events land ahead of later direct higher-seq ones.
+//  3. The cursor only moves to a proven-empty boundary or to the exact
+//     time of the earliest pending event: the bottom-up scan stops at
+//     the first level with an occupied bucket, and any occupied bucket
+//     at a higher level starts at or beyond the end of that level's
+//     window, so the first hit is the global minimum.
+//
+// Scheduling and cancellation are O(1) (bucket append / doubly-linked
+// unlink); an event is touched again only when its bucket cascades —
+// at most once per level — so dispatch cost is bounded by a constant
+// regardless of how many events are pending. The randomized
+// differential test in wheel_test.go runs the wheel against a
+// reference priority list under adversarial schedule/cancel/RunUntil
+// interleavings to enforce all of the above.
+
+const (
+	wheelLevels = 8
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+)
+
+// posNone marks an event that is not linked into a wheel bucket (it is
+// running, staged in due/runq, free, or cancelled).
+const posNone = -1
+
+// wbucket is one doubly-linked, seq-sorted event list.
+type wbucket struct {
+	head, tail *Event
+}
+
+// wheelLevel is one resolution tier: 256 buckets plus an occupancy
+// bitmap so the next non-empty bucket is found with four word scans.
+type wheelLevel struct {
+	occ  [wheelSlots / 64]uint64
+	slot [wheelSlots]wbucket
+}
+
+func (lv *wheelLevel) setOcc(i int)   { lv.occ[i>>6] |= 1 << (i & 63) }
+func (lv *wheelLevel) clearOcc(i int) { lv.occ[i>>6] &^= 1 << (i & 63) }
+
+// nextOcc returns the first occupied bucket index >= from, if any.
+func (lv *wheelLevel) nextOcc(from int) (int, bool) {
+	w := from >> 6
+	word := lv.occ[w] & (^uint64(0) << (from & 63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+		w++
+		if w == len(lv.occ) {
+			return 0, false
+		}
+		word = lv.occ[w]
+	}
+}
+
+// wheel is the pending-event store. cur is the cursor: a virtual time
+// <= the kernel clock and < every resident event's timestamp, used as
+// the reference point for placement. cnt counts resident events.
+type wheel struct {
+	cur int64
+	cnt int
+	lvl [wheelLevels]wheelLevel
+}
+
+// schedule links ev into the bucket given by the placement rule.
+// The caller guarantees ev.at > w.cur (same-instant events go to the
+// kernel's run queue, never the wheel).
+func (w *wheel) schedule(ev *Event) {
+	d := uint64(ev.at) ^ uint64(w.cur)
+	level := (bits.Len64(d) - 1) >> 3
+	idx := int(uint64(ev.at)>>(level*wheelBits)) & (wheelSlots - 1)
+	lv := &w.lvl[level]
+	b := &lv.slot[idx]
+	ev.next = nil
+	ev.prev = b.tail
+	if b.tail == nil {
+		b.head = ev
+		lv.setOcc(idx)
+	} else {
+		b.tail.next = ev
+	}
+	b.tail = ev
+	ev.pos = int32(level<<wheelBits | idx)
+	w.cnt++
+}
+
+// unlink removes ev from its bucket in O(1). Relative order of the
+// remaining events is untouched, so the seq-sorted invariant holds.
+func (w *wheel) unlink(ev *Event) {
+	level := int(ev.pos) >> wheelBits
+	idx := int(ev.pos) & (wheelSlots - 1)
+	b := &w.lvl[level].slot[idx]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		b.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		b.tail = ev.prev
+	}
+	if b.head == nil {
+		w.lvl[level].clearOcc(idx)
+	}
+	ev.next, ev.prev = nil, nil
+	ev.pos = posNone
+	w.cnt--
+}
+
+// advance outcomes.
+const (
+	advEmpty    = iota // no pending events; cursor and clock untouched
+	advDeadline        // next event lies beyond the deadline
+	advStaged          // k.due now holds the next instant's events
+)
+
+// advance walks the cursor to the next pending event time no later than
+// deadline, cascading coarse buckets down as boundaries are crossed,
+// and stages that instant's events onto k.due in (time, seq) order.
+// On advDeadline the cursor has been moved up to the deadline (never
+// backward), which is safe because the scan proved no event lives in
+// between; the clock itself is the caller's to set.
+func (k *Kernel) advance(deadline int64) int {
+	w := &k.wheel
+	for {
+		if w.cnt == 0 {
+			return advEmpty
+		}
+		level, idx := -1, 0
+		var s int64
+		for L := 0; L < wheelLevels; L++ {
+			iL := int(uint64(w.cur)>>(L*wheelBits)) & (wheelSlots - 1)
+			if j, ok := w.lvl[L].nextOcc(iL); ok {
+				// Window prefix above level L, then bucket j. The level-7
+				// mask wraps to zero in uint64, clearing the whole prefix,
+				// which is exactly right.
+				prefix := uint64(w.cur) &^ (uint64(wheelSlots)<<(L*wheelBits) - 1)
+				level, idx = L, j
+				s = int64(prefix | uint64(j)<<(L*wheelBits))
+				break
+			}
+		}
+		if level < 0 {
+			return advEmpty
+		}
+		if s > deadline {
+			if deadline > w.cur {
+				w.cur = deadline
+			}
+			return advDeadline
+		}
+		w.cur = s
+		lv := &w.lvl[level]
+		b := &lv.slot[idx]
+		head := b.head
+		b.head, b.tail = nil, nil
+		lv.clearOcc(idx)
+		if level == 0 {
+			// Exact instant: the whole bucket shares timestamp s; move it
+			// to the due stage in list (= seq) order.
+			for ev := head; ev != nil; {
+				next := ev.next
+				ev.next, ev.prev = nil, nil
+				ev.pos = posNone
+				k.due = append(k.due, ev)
+				w.cnt--
+				ev = next
+			}
+			return advStaged
+		}
+		// Cascade: refile the bucket at finer resolution. Events landing
+		// exactly on the new cursor are due now and skip the wheel.
+		for ev := head; ev != nil; {
+			next := ev.next
+			ev.next, ev.prev = nil, nil
+			w.cnt--
+			if int64(ev.at) == w.cur {
+				ev.pos = posNone
+				k.due = append(k.due, ev)
+			} else {
+				w.schedule(ev)
+			}
+			ev = next
+		}
+		if k.dueHead < len(k.due) {
+			return advStaged
+		}
+	}
+}

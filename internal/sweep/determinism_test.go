@@ -58,6 +58,57 @@ func TestReportDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestOrderedPoolMatchesUnorderedSerial pins down the long-pole
+// scheduling satellite: the pool hands scenarios to workers
+// largest-estimated-first, and this must be invisible — the report must
+// stay byte-identical to a plain unordered serial loop over the grid
+// (no Runner involved at all).
+func TestOrderedPoolMatchesUnorderedSerial(t *testing.T) {
+	scs, err := Grid("smoke", Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := Report{Grid: "smoke", Scenarios: make([]Result, len(scs))}
+	for i, s := range scs {
+		serial.Scenarios[i] = s.Run()
+	}
+	want, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runSmokeBytes(t, 4)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("largest-first pool changed the report:\n--- unordered serial ---\n%s\n--- ordered pool ---\n%s", want, got)
+	}
+}
+
+// TestEstCostOrdersClusterLongPolesFirst sanity-checks the estimate the
+// pool sorts by: in the cluster grid the 256-host broadcast-bound cells
+// must rank ahead of every 16-host cell.
+func TestEstCostOrdersClusterLongPolesFirst(t *testing.T) {
+	scs, err := Grid("cluster", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max16, min256 int64
+	min256 = 1 << 62
+	for _, s := range scs {
+		switch s.Hosts {
+		case 16:
+			if c := s.estCost(); c > max16 {
+				max16 = c
+			}
+		case 256:
+			if c := s.estCost(); c < min256 {
+				min256 = c
+			}
+		}
+	}
+	if min256 <= max16 {
+		t.Errorf("estCost ranks a 256-host cell (%d) at or below a 16-host cell (%d)", min256, max16)
+	}
+}
+
 // TestSeedChangesReport guards against the opposite failure: if two
 // different seeds produced identical reports the determinism tests above
 // would be vacuous.

@@ -220,10 +220,16 @@ func FanoutGrid(o Options) []Scenario {
 // (worst case: one page bouncing between every host), barrier phases
 // (all-to-all synchronization) and the stationary-owner counter (the
 // paper's P5 discipline, the linear-load baseline) — to 16, 64 and 256
-// hosts. Work per host shrinks as the cluster grows so every cell stays
-// tractable; what the grid measures is how load and latency scale with
-// fan-out, not raw op counts. Options.Hosts restricts the grid to one
-// size (the CI smoke cell runs -hosts 16).
+// hosts by default. Work per host shrinks as the cluster grows so every
+// cell stays tractable; what the grid measures is how load and latency
+// scale with fan-out, not raw op counts. At 256 hosts and beyond the
+// grid adds the loss-rate and kernel-server axes: datagram loss tests
+// the retry path at scale, and interrupt-level protocol processing (the
+// paper's proposed fix) is exactly the placement whose payoff grows
+// with broadcast fan-in. Options.Hosts restricts the grid to one size:
+// the CI smoke cell runs -hosts 16, and `make cluster-large` runs the
+// 1024-host tier via -hosts 1024 (kept out of the default sizes so
+// `make cluster` and bench records stay comparable across PRs).
 func ClusterGrid(o Options) []Scenario {
 	o = o.withDefaults()
 	sizes := []int{16, 64, 256}
@@ -236,6 +242,8 @@ func ClusterGrid(o Options) []Scenario {
 		// comparable across cells.
 		iters, phases := 16, 4
 		switch {
+		case h >= 1024:
+			iters, phases = 1, 1
 		case h >= 256:
 			iters, phases = 4, 1
 		case h >= 64:
@@ -251,14 +259,51 @@ func ClusterGrid(o Options) []Scenario {
 		if res < 10*time.Millisecond {
 			res = 10 * time.Millisecond
 		}
+		// The 1024-host tier scales the knobs that would otherwise swamp
+		// the simulation with redundant events, the same way the smaller
+		// rungs scale residency and hysteresis: the hotspot demand retry
+		// must outlast the residency window (deferred requests are
+		// served without retries when nothing is lost), barrier waiters
+		// must not poll faster than the arrival-broadcast backlog can
+		// drain, worlds start with warm resident replicas (a cold attach
+		// is an O(hosts³) request storm that would be the entire
+		// measurement), and the hotspot bounds its active writer set —
+		// every broadcast still fans out to all 1024 hosts, which is the
+		// load being measured.
+		var retry, check time.Duration
+		warm := false
+		hotIters, writers, ring := iters, 0, 0
+		if h >= 1024 {
+			retry = time.Duration(h) * 2 * time.Millisecond
+			check = time.Duration(h) * 2 * time.Microsecond
+			warm = true
+			hotIters, writers = 4, 64
+			// A phase burst is one broadcast per host arriving at wire
+			// speed and draining at server speed; the era 32-slot ring
+			// would drop nearly all of it.
+			ring = 4 * h
+		}
 		out = append(out,
 			Scenario{Name: fmt.Sprintf("cluster/stationary/h%d", h), Kind: KindStationary,
-				Hosts: h, Iters: iters * 2, Seed: o.Seed},
+				Hosts: h, Iters: iters * 2, WarmStart: warm, RxRing: ring, Seed: o.Seed},
 			Scenario{Name: fmt.Sprintf("cluster/barrier/h%d", h), Kind: KindBarrier,
-				Hosts: h, Phases: phases, HysteresisN: hyst, Seed: o.Seed},
+				Hosts: h, Phases: phases, HysteresisN: hyst, CheckEvery: check,
+				WarmStart: warm, RxRing: ring, Seed: o.Seed},
 			Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d", h), Kind: KindHotspot,
-				Hosts: h, Iters: iters, MinResidency: res, Seed: o.Seed},
+				Hosts: h, Iters: hotIters, Writers: writers, MinResidency: res,
+				RetryTimeout: retry, WarmStart: warm, RxRing: ring, Seed: o.Seed},
 		)
+		if h >= 256 {
+			out = append(out,
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/loss-0.2%%", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, LossRate: 0.002, WarmStart: warm, RxRing: ring, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/kernel", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, KernelServer: true, WarmStart: warm, RxRing: ring, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/kernel", h), Kind: KindHotspot,
+					Hosts: h, Iters: hotIters, Writers: writers, MinResidency: res,
+					RetryTimeout: retry, KernelServer: true, WarmStart: warm, RxRing: ring, Seed: o.Seed},
+			)
+		}
 	}
 	return out
 }

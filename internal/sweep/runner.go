@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -33,6 +34,13 @@ type Timing struct {
 // (results in grid order) plus the real-time Timing. Each scenario is a
 // sealed World on its own goroutine, so nothing about pool scheduling
 // can leak into the results.
+//
+// Scenarios are handed to the pool largest-estimated-first (a
+// longest-processing-time heuristic): heterogeneous grids like cluster
+// mix cells whose runtimes differ by orders of magnitude, and starting
+// the long poles first keeps the pool balanced instead of letting a
+// giant cell picked up last serialize the whole tail. Dispatch order is
+// invisible in the Report, which stays in grid order.
 func (r Runner) Run(grid string, scs []Scenario) (Report, Timing) {
 	workers := r.Workers
 	if workers <= 0 {
@@ -61,7 +69,14 @@ func (r Runner) Run(grid string, scs []Scenario) (Report, Timing) {
 			}
 		}()
 	}
-	for i := range scs {
+	order := make([]int, len(scs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return scs[order[a]].estCost() > scs[order[b]].estCost()
+	})
+	for _, i := range order {
 		idx <- i
 	}
 	close(idx)

@@ -88,10 +88,31 @@ type Scenario struct {
 	// MinResidency overrides the hotspot anti-thrash holdoff (zero =
 	// driver default); cluster cells scale it with host count.
 	MinResidency time.Duration
+	// RetryTimeout overrides the hotspot demand-retransmit interval
+	// (zero = driver default); the 1024-host tier scales it with host
+	// count so redundant request re-broadcasts stay bounded.
+	RetryTimeout time.Duration
+	// CheckEvery overrides the barrier waiter's spin-check interval
+	// (zero = workload default); the 1024-host tier scales it with host
+	// count so waiters poll no faster than the broadcast backlog drains.
+	CheckEvery time.Duration
+	// Writers bounds the hotspot's active writer set (zero = all hosts);
+	// the 1024-host tier bounds it so the cell stays tractable.
+	Writers int
+	// WarmStart seeds resident replicas before the run (1024-host tier:
+	// cold attach is an O(hosts³) request storm).
+	WarmStart bool
 
-	// Shared cost-model axes.
+	// Shared cost-model axes. KernelServer applies to counter, hotspot,
+	// barrier and stationary scenarios.
 	LossRate     float64
 	KernelServer bool
+	// RxRing overrides the per-NIC receive ring capacity (zero = model
+	// default, 32 frames). A 1024-host broadcast burst arrives at wire
+	// speed but drains at server speed; the era-accurate 32-slot ring
+	// drops almost all of it, so the large tier scales the ring with
+	// cluster fan-in.
+	RxRing int
 }
 
 // Result is one scenario's aggregated measurements. Every field is a
@@ -135,10 +156,54 @@ type Result struct {
 	Deviations []string `json:"deviations,omitempty"`
 }
 
-// netParams builds the Ethernet model for a scenario's loss-rate axis.
+// estCost is a deterministic work estimate (hosts × per-host duration
+// proxy) used only to order scenarios largest-first before they are
+// handed to the worker pool, so a long-pole cell starts early instead of
+// serializing the tail of the sweep. Broadcast-bound kinds (hotspot,
+// barrier) grow quadratically in host count: every op is a broadcast
+// that every host must ingest. The estimate never influences results —
+// reports are indexed by grid position, not completion order.
+func (s Scenario) estCost() int64 {
+	hosts := int64(s.Hosts)
+	if hosts < 2 {
+		hosts = 2
+	}
+	var work int64
+	switch s.Kind {
+	case KindCounter:
+		work = int64(s.Target)
+		if work == 0 {
+			work = 1024
+		}
+	case KindHotspot:
+		work = int64(s.Iters) * hosts
+	case KindBarrier:
+		work = int64(s.Phases) * hosts
+	case KindStationary:
+		// Linear in wire bytes, but every update broadcast is still
+		// ingested by all hosts, so simulation work is quadratic too.
+		work = int64(s.Iters) * hosts
+	case KindPipeline:
+		work = int64(s.Messages) * int64(s.Stages)
+	case KindFanout:
+		work = int64(s.Updates) * int64(s.Readers)
+	case KindPipe:
+		work = int64(s.Messages)
+	}
+	if work < 1 {
+		work = 1
+	}
+	return hosts * work
+}
+
+// netParams builds the Ethernet model for a scenario's loss-rate and
+// ring-capacity axes.
 func (s Scenario) netParams() ethernet.Params {
 	np := ethernet.DefaultParams()
 	np.LossRate = s.LossRate
+	if s.RxRing > 0 {
+		np.RxRing = s.RxRing
+	}
 	return np
 }
 
@@ -237,7 +302,9 @@ func (s Scenario) Run() Result {
 	case KindHotspot:
 		r, err := workload.RunHotspot(workload.HotspotConfig{
 			Hosts: s.Hosts, Iters: s.Iters, ShortPage: s.ShortPage,
-			MinResidency: s.MinResidency,
+			Writers: s.Writers, WarmStart: s.WarmStart,
+			MinResidency: s.MinResidency, RetryTimeout: s.RetryTimeout,
+			KernelServer: s.KernelServer,
 			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -253,7 +320,9 @@ func (s Scenario) Run() Result {
 		// refreshes instead of flooding the wire with demand fetches.
 		r, err := workload.RunBarrier(workload.BarrierConfig{
 			Hosts: s.Hosts, Phases: s.Phases, HysteresisPurge: s.HysteresisN,
-			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			CheckEvery: s.CheckEvery, WarmStart: s.WarmStart,
+			KernelServer: s.KernelServer,
+			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -277,8 +346,9 @@ func (s Scenario) Run() Result {
 		res.fillCluster(r.ClusterStats)
 	case KindStationary:
 		r, err := workload.RunStationary(workload.StationaryConfig{
-			Hosts: s.Hosts, Iters: s.Iters,
-			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			Hosts: s.Hosts, Iters: s.Iters, WarmStart: s.WarmStart,
+			KernelServer: s.KernelServer,
+			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()

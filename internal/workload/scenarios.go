@@ -89,6 +89,18 @@ type HotspotConfig struct {
 	// ShortPage selects the 32-byte view (the paper's fast path); when
 	// false every bounce moves the full 8 KiB page.
 	ShortPage bool
+	// Writers bounds how many hosts actively update the hot page (0 =
+	// every host). The remaining hosts hold resident replicas and ingest
+	// every broadcast — the snoop load is still cluster-wide. At the
+	// 1024-host tier an all-writers hotspot is O(hosts³) in simulation
+	// events (bounces × receivers × outstanding requesters), so the
+	// large cells bound the writer set to keep the cell tractable while
+	// the fan-out being measured stays at full cluster size.
+	Writers int
+	// WarmStart seeds resident replicas of the hot page on every host
+	// before the run (see Segment.WarmReplicas), removing the cold
+	// attach storm from the measurement.
+	WarmStart bool
 	// IncCost is the CPU cost per update (default 50 µs).
 	IncCost time.Duration
 	// MinResidency overrides the driver's anti-thrash holdoff when
@@ -98,6 +110,17 @@ type HotspotConfig struct {
 	// happens and the page thrashes; cluster cells scale this with host
 	// count.
 	MinResidency time.Duration
+	// RetryTimeout overrides the driver's demand-request retransmit
+	// interval when positive. At the 1024-host tier the default 250 ms
+	// retry is far shorter than the scaled residency window, so every
+	// waiting host re-broadcasts its request several times per ownership
+	// bounce and each retry costs every host a receive; cluster cells
+	// scale the retry with host count to keep the redundant-request storm
+	// bounded (absent loss, deferred requests are served without retries).
+	RetryTimeout time.Duration
+	// KernelServer runs protocol processing at interrupt level (the
+	// paper's proposed fix) instead of in the user-level server process.
+	KernelServer bool
 	Seed         int64
 	Cap          time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
@@ -130,11 +153,17 @@ func (c HotspotConfig) withDefaults() (HotspotConfig, error) {
 	if c.Hosts < 2 {
 		return c, fmt.Errorf("workload: hotspot needs at least 2 hosts")
 	}
-	if c.ShortPage && c.Hosts > 8 {
-		return c, fmt.Errorf("workload: short hotspot page holds 8 word slots, got %d hosts", c.Hosts)
+	if c.Writers == 0 || c.Writers > c.Hosts {
+		c.Writers = c.Hosts
 	}
-	if c.Hosts*4 > mether.PageSize {
-		return c, fmt.Errorf("workload: hotspot page holds %d word slots, got %d hosts", mether.PageSize/4, c.Hosts)
+	if c.Writers < 2 {
+		return c, fmt.Errorf("workload: hotspot needs at least 2 writers")
+	}
+	if c.ShortPage && c.Writers > 8 {
+		return c, fmt.Errorf("workload: short hotspot page holds 8 word slots, got %d writers", c.Writers)
+	}
+	if c.Writers*4 > mether.PageSize {
+		return c, fmt.Errorf("workload: hotspot page holds %d word slots, got %d writers", mether.PageSize/4, c.Writers)
 	}
 	return c, nil
 }
@@ -146,9 +175,15 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 		return HotspotReport{}, err
 	}
 	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams}
-	if cfg.MinResidency > 0 {
+	if cfg.MinResidency > 0 || cfg.RetryTimeout > 0 || cfg.KernelServer {
 		wcfg.Core = core.DefaultConfig(8)
-		wcfg.Core.MinResidency = cfg.MinResidency
+		if cfg.MinResidency > 0 {
+			wcfg.Core.MinResidency = cfg.MinResidency
+		}
+		if cfg.RetryTimeout > 0 {
+			wcfg.Core.RetryTimeout = cfg.RetryTimeout
+		}
+		wcfg.Core.KernelServer = cfg.KernelServer
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
@@ -156,13 +191,16 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 	if err != nil {
 		return HotspotReport{}, err
 	}
+	if cfg.WarmStart {
+		seg.WarmReplicas()
+	}
 	capRW := seg.CapRW()
 
-	done := make([]bool, cfg.Hosts)
-	errs := make([]error, cfg.Hosts)
+	done := make([]bool, cfg.Writers)
+	errs := make([]error, cfg.Writers)
 	var updates uint64
 	var lastFinish time.Duration
-	for i := 0; i < cfg.Hosts; i++ {
+	for i := 0; i < cfg.Writers; i++ {
 		i := i
 		w.Spawn(i, fmt.Sprintf("hot%d", i), func(env *mether.Env) {
 			m, err := env.Attach(capRW, mether.RW)
@@ -226,9 +264,20 @@ type BarrierConfig struct {
 	// HysteresisPurge is how many stale reads a waiter tolerates before
 	// purging the peer copy to force a fresh fetch (default 4).
 	HysteresisPurge int
-	Seed            int64
-	Cap             time.Duration
-	NetParams       ethernet.Params
+	// CheckEvery is the waiter's spin-check interval (default 10 µs). At
+	// the 1024-host tier every host must ingest a thousand arrival
+	// broadcasts per phase, so a 10 µs poll burns millions of simulation
+	// events spinning against a copy that cannot change faster than the
+	// broadcast backlog drains; cluster cells scale this with host count.
+	CheckEvery time.Duration
+	// WarmStart seeds resident replicas of every barrier page on every
+	// host before the run (see Segment.WarmReplicas).
+	WarmStart bool
+	// KernelServer runs protocol processing at interrupt level.
+	KernelServer bool
+	Seed         int64
+	Cap          time.Duration
+	NetParams    ethernet.Params
 }
 
 // BarrierReport is the barrier run's measurements. The latency fields of
@@ -254,6 +303,9 @@ func (c BarrierConfig) withDefaults() (BarrierConfig, error) {
 	if c.HysteresisPurge == 0 {
 		c.HysteresisPurge = 4
 	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 10 * time.Microsecond
+	}
 	if c.Cap == 0 {
 		c.Cap = 10 * time.Minute
 	}
@@ -274,7 +326,12 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 	if pages < 8 {
 		pages = 8
 	}
-	w := mether.NewWorld(mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams}
+	if cfg.KernelServer {
+		wcfg.Core = core.DefaultConfig(pages)
+		wcfg.Core.KernelServer = true
+	}
+	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
 	owners := make([]int, cfg.Hosts)
 	for i := range owners {
@@ -283,6 +340,9 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 	seg, err := w.CreateSegmentOwners("barrier", owners)
 	if err != nil {
 		return BarrierReport{}, err
+	}
+	if cfg.WarmStart {
+		seg.WarmReplicas()
 	}
 	capRW := seg.CapRW()
 
@@ -364,7 +424,7 @@ func barrierClient(env *mether.Env, cap mether.Capability, cfg BarrierConfig, id
 			pa := peers.Addr(j, 0).Short()
 			stale := 0
 			for {
-				env.Compute(10 * time.Microsecond)
+				env.Compute(cfg.CheckEvery)
 				v, err := peers.Load32(pa)
 				if err != nil {
 					return err

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mether"
+	"mether/internal/core"
 	"mether/internal/ethernet"
 )
 
@@ -34,8 +35,15 @@ type StationaryConfig struct {
 	SampleEvery int
 	// IncCost is the CPU cost per update (default 50 µs).
 	IncCost time.Duration
-	Seed    int64
-	Cap     time.Duration
+	// WarmStart seeds resident replicas of every segment page on every
+	// host before the run (see Segment.WarmReplicas): at the 1024-host
+	// tier a cold start means every host demand-fetches every peer page
+	// at attach, an O(hosts³) request storm that swamps the workload.
+	WarmStart bool
+	// KernelServer runs protocol processing at interrupt level.
+	KernelServer bool
+	Seed         int64
+	Cap          time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -85,7 +93,12 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	if pages < 8 {
 		pages = 8
 	}
-	w := mether.NewWorld(mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams})
+	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams}
+	if cfg.KernelServer {
+		wcfg.Core = core.DefaultConfig(pages)
+		wcfg.Core.KernelServer = true
+	}
+	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
 	owners := make([]int, cfg.Hosts)
 	for i := range owners {
@@ -94,6 +107,9 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	seg, err := w.CreateSegmentOwners("stationary", owners)
 	if err != nil {
 		return StationaryReport{}, err
+	}
+	if cfg.WarmStart {
+		seg.WarmReplicas()
 	}
 	capRW := seg.CapRW()
 

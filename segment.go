@@ -97,6 +97,21 @@ func (w *World) mintToken() uint64 {
 // Name returns the segment name.
 func (s *Segment) Name() string { return s.name }
 
+// WarmReplicas seeds a zero-filled resident replica of every segment
+// page on every host, modelling a cluster that has been running long
+// enough for broadcasts to have populated all resident copies. Call it
+// before spawning processes: attaches then map in without demand
+// fetches, which keeps large-cluster world setup linear instead of
+// cubic in host count (each cold fetch is a broadcast request that
+// every host must ingest).
+func (s *Segment) WarmReplicas() {
+	for _, d := range s.w.drivers {
+		for i := 0; i < s.pages; i++ {
+			d.SeedReplica(s.base + vm.PageID(i))
+		}
+	}
+}
+
 // Pages returns the segment length in pages.
 func (s *Segment) Pages() int { return s.pages }
 

@@ -120,6 +120,11 @@ func NewWorld(cfg Config) *World {
 		k:    sim.New(cfg.Seed),
 		segs: make(map[string]*Segment),
 	}
+	// Size the kernel's same-instant run queue for the cluster up front:
+	// wakeup bursts (a broadcast waking a waiter per host) scale with
+	// host count, and pre-sizing keeps steady-state dispatch free of
+	// ring-doubling copies.
+	w.k.ReserveRunq(8 * cfg.Hosts)
 	w.bus = ethernet.NewBus(w.k, cfg.NetParams)
 	for i := 0; i < cfg.Hosts; i++ {
 		h := host.New(w.k, i, fmt.Sprintf("host%d", i), cfg.HostParams)
