@@ -3,13 +3,16 @@
 #   make ci            - everything the tier-1 gate runs: format check, vet,
 #                        tests, race tests, smoke sweep, a bench smoke pass
 #                        and a 16-host cluster smoke sweep (which also gates
-#                        the engine on an allocs/event ceiling of 0.1)
+#                        the engine on an allocs/event ceiling of 0.1).
+#                        Each stage ends with a machine-readable
+#                        "CI-STAGE <name>: PASS|FAIL" line so the GitHub
+#                        Actions log is scannable at a glance.
 #   make test          - go build + go test ./...
 #   make race          - go test -race ./...
 #   make smoke         - a fast cross-section sweep through cmd/methersweep
 #   make sweep         - the full paper grid at scale 1024 (slow)
-#   make cluster       - the 16/64/256-host cluster grid incl. the loss and
-#                        kernel-server axes at 256 hosts (slow)
+#   make cluster       - the 16/64/256-host cluster grid incl. the loss,
+#                        kernel-server and multi-trunk topology axes (slow)
 #   make cluster-large - the 1024-host tier of the cluster grid (slower;
 #                        kept out of `make cluster` so bench records stay
 #                        comparable across PRs)
@@ -20,17 +23,41 @@
 #   make bench-smoke   - the microbenchmarks once (-benchtime=1x), as CI runs them
 #   make bench-record  - regenerate BENCH_sweep.json, the engine-throughput
 #                        trajectory record (worlds/sec, events/sec, allocs/event)
+#   make bench-check   - the nightly bench-drift gate: regenerate the cluster
+#                        record into a temp file and fail if events/sec
+#                        regressed >15% or allocs/event grew >10% against the
+#                        committed BENCH_sweep.json. The events/sec floor is
+#                        real-time: the committed record must come from the
+#                        same machine class that runs the gate (regenerate it
+#                        there when the classes diverge; allocs/event is
+#                        machine-independent)
 
 GO ?= go
 
 MICROBENCH = BenchmarkKernelDispatch|BenchmarkKernelDispatchImmediate|BenchmarkKernelDispatchDeep|BenchmarkKernelScheduleCancel|BenchmarkHostSleepWake|BenchmarkHostQuantumRotation|BenchmarkBusBroadcast|BenchmarkCounterRun
 
-.PHONY: ci fmt-check vet test race smoke cluster-smoke cluster-large sweep cluster bench bench-smoke bench-record
+.PHONY: ci ci-stage fmt-check vet test race smoke cluster-smoke cluster-large sweep cluster bench bench-smoke bench-record bench-check
 
-ci: fmt-check vet test race smoke bench-smoke cluster-smoke
+# Each CI stage runs through ci-stage so the log carries exactly one
+# machine-readable verdict line per stage, pass or fail.
+CI_STAGES = fmt-check vet test race smoke bench-smoke cluster-smoke
 
+ci:
+	@for s in $(CI_STAGES); do \
+		$(MAKE) --no-print-directory ci-stage STAGE=$$s || exit 1; \
+	done
+
+ci-stage:
+	@if $(MAKE) --no-print-directory $(STAGE); then \
+		echo "CI-STAGE $(STAGE): PASS"; \
+	else \
+		echo "CI-STAGE $(STAGE): FAIL"; exit 1; \
+	fi
+
+# Scoped to tracked files so vendored or scratch directories can never
+# break (or sneak past) the format gate.
 fmt-check:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	@out="$$(git ls-files '*.go' | xargs gofmt -l)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
@@ -67,3 +94,9 @@ bench-smoke:
 
 bench-record:
 	$(GO) run ./cmd/methersweep -grid cluster -bench-out BENCH_sweep.json -format summary
+
+bench-check:
+	@tmp="$$(mktemp)"; \
+	$(GO) run ./cmd/methersweep -grid cluster -bench-out "$$tmp" \
+		-bench-baseline BENCH_sweep.json -format summary; \
+	rc=$$?; rm -f "$$tmp"; exit $$rc

@@ -42,6 +42,7 @@ var (
 	flagTarget    = flag.Uint("target", 1024, "counter target for protocol scenarios")
 	flagSeed      = flag.Int64("seed", 1, "simulation seed for every scenario")
 	flagHosts     = flag.Int("hosts", 0, "restrict host-count grids (cluster) to one size (0 = all)")
+	flagTrunks    = flag.Int("trunks", 0, "restrict the cluster grid's topology axis: 0 = full grid, 1 = classic single-trunk cells only (baseline comparisons), N>1 = every base cell on N bridged trunks")
 	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
 	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
 	flagBaseline  = flag.String("baseline", "", "JSON report to compare against")
@@ -50,7 +51,19 @@ var (
 	flagCPUProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flagMemProf   = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	flagBenchOut  = flag.String("bench-out", "", "write an engine-throughput record (worlds/sec, events/sec, allocs/event) to this JSON file")
+	flagBenchBase = flag.String("bench-baseline", "", "committed bench record to gate against: fail if events/sec regresses beyond 15% or allocs/event grows beyond 10%")
 	flagAllocCeil = flag.Float64("alloc-ceiling", 0, "fail if the sweep allocates more than this per dispatched event (0 = no gate)")
+)
+
+// Bench-drift tolerances for -bench-baseline. Events/sec is a real-time
+// measurement, so its band is generous (nightly CI runs on one machine
+// class but still jitters); allocs/event is near-deterministic, so its
+// band is tight, with a small absolute epsilon so a zero-alloc baseline
+// does not make any nonzero measurement an automatic failure.
+const (
+	benchEventsTol   = 0.15
+	benchAllocsTol   = 0.10
+	benchAllocsEpsil = 0.001
 )
 
 // benchRecord is the engine-throughput trajectory point -bench-out
@@ -96,7 +109,17 @@ func main() {
 	if *flagHosts < 0 || *flagHosts > proto.MaxHostID {
 		fatal(fmt.Errorf("-hosts %d out of range (0..%d)", *flagHosts, proto.MaxHostID))
 	}
-	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts})
+	// The smallest default cluster size is 16 hosts; a trunk count that
+	// exceeds the smallest cell's host count must fail here as a flag
+	// error, not panic a worker goroutine mid-sweep.
+	minHosts := *flagHosts
+	if minHosts == 0 {
+		minHosts = 16
+	}
+	if *flagTrunks < 0 || *flagTrunks > minHosts {
+		fatal(fmt.Errorf("-trunks %d out of range for %d hosts", *flagTrunks, minHosts))
+	}
+	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks})
 	if err != nil {
 		fatal(err)
 	}
@@ -130,9 +153,20 @@ func main() {
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 
-	if *flagBenchOut != "" {
-		if err := writeBenchRecord(*flagBenchOut, report, timing, msBefore, msAfter); err != nil {
-			fatal(err)
+	benchFailure := false
+	if *flagBenchOut != "" || *flagBenchBase != "" {
+		rec := buildBenchRecord(report, timing, msBefore, msAfter)
+		if *flagBenchOut != "" {
+			if err := writeBenchRecord(*flagBenchOut, rec); err != nil {
+				fatal(err)
+			}
+		}
+		if *flagBenchBase != "" {
+			ok, err := checkBenchBaseline(*flagBenchBase, rec)
+			if err != nil {
+				fatal(err)
+			}
+			benchFailure = !ok
 		}
 	}
 	// The allocs/event ceiling is a regression gate on the engine's
@@ -201,9 +235,19 @@ func main() {
 	if allocFailure {
 		failures++
 	}
-	for _, r := range report.Scenarios {
+	if benchFailure {
+		failures++
+	}
+	for i, r := range report.Scenarios {
 		if r.Err != "" {
 			fmt.Fprintf(os.Stderr, "scenario %s failed: %s\n", r.Name, r.Err)
+			failures++
+		}
+		// A cell that fails to finish is correctness drift unless the
+		// grid marked it as a "Never finished"-style measurement
+		// (Figure 6, hysteresis extremes, lossy passive protocols).
+		if r.DNF && !scs[i].MayDNF {
+			fmt.Fprintf(os.Stderr, "scenario %s did not finish (unexpected DNF)\n", r.Name)
 			failures++
 		}
 		for _, d := range r.Deviations {
@@ -241,9 +285,9 @@ func main() {
 	}
 }
 
-// writeBenchRecord aggregates the run's engine-throughput numbers and
-// writes the BENCH_sweep.json trajectory point.
-func writeBenchRecord(path string, report sweep.Report, timing sweep.Timing, before, after runtime.MemStats) error {
+// buildBenchRecord aggregates the run's engine-throughput numbers into
+// the BENCH_sweep.json trajectory point.
+func buildBenchRecord(report sweep.Report, timing sweep.Timing, before, after runtime.MemStats) benchRecord {
 	rec := benchRecord{
 		Grid:        report.Grid,
 		Scenarios:   len(report.Scenarios),
@@ -263,11 +307,59 @@ func writeBenchRecord(path string, report sweep.Report, timing sweep.Timing, bef
 		rec.AllocsPerEvent = float64(rec.AllocsTotal) / float64(rec.EventsTotal)
 		rec.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(rec.EventsTotal)
 	}
+	return rec
+}
+
+// writeBenchRecord writes a trajectory point as indented JSON.
+func writeBenchRecord(path string, rec benchRecord) error {
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// checkBenchBaseline is the nightly bench-drift gate: compare this run's
+// engine throughput against the committed record. Events/sec may not
+// regress beyond benchEventsTol; allocs/event may not grow beyond
+// benchAllocsTol (plus a small absolute epsilon). Improvements never
+// fail — commit a fresh record to ratchet them in.
+func checkBenchBaseline(path string, rec benchRecord) (bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base benchRecord
+	if err := json.Unmarshal(b, &base); err != nil {
+		return false, fmt.Errorf("bad bench baseline %s: %w", path, err)
+	}
+	if base.Grid != rec.Grid || base.Scenarios != rec.Scenarios {
+		return false, fmt.Errorf("bench baseline %s covers grid %q (%d scenarios), this run is %q (%d): regenerate the record",
+			path, base.Grid, base.Scenarios, rec.Grid, rec.Scenarios)
+	}
+	// Events/sec is only comparable at equal parallelism: a record made
+	// serially would let a parallel run hide a multi-x regression (and a
+	// parallel record would flake a narrower machine every night).
+	if base.Workers != rec.Workers || base.GoMaxProcs != rec.GoMaxProcs {
+		return false, fmt.Errorf("bench baseline %s was recorded with %d workers / GOMAXPROCS %d, this run has %d / %d: regenerate the record on this machine class",
+			path, base.Workers, base.GoMaxProcs, rec.Workers, rec.GoMaxProcs)
+	}
+	ok := true
+	if floor := base.EventsPerSec * (1 - benchEventsTol); rec.EventsPerSec < floor {
+		fmt.Fprintf(os.Stderr, "bench gate: events/sec %.3g below %.3g (baseline %.3g -%d%%)\n",
+			rec.EventsPerSec, floor, base.EventsPerSec, int(benchEventsTol*100))
+		ok = false
+	}
+	if ceil := base.AllocsPerEvent*(1+benchAllocsTol) + benchAllocsEpsil; rec.AllocsPerEvent > ceil {
+		fmt.Fprintf(os.Stderr, "bench gate: allocs/event %.4f above %.4f (baseline %.4f +%d%%)\n",
+			rec.AllocsPerEvent, ceil, base.AllocsPerEvent, int(benchAllocsTol*100))
+		ok = false
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "bench gate: events/sec %.3g (baseline %.3g), allocs/event %.4f (baseline %.4f) within tolerance\n",
+			rec.EventsPerSec, base.EventsPerSec, rec.AllocsPerEvent, base.AllocsPerEvent)
+	}
+	return ok, nil
 }
 
 // exit finalizes any in-flight CPU profile (StopCPUProfile is a no-op

@@ -7,7 +7,9 @@ import (
 
 	"mether/internal/ethernet"
 	"mether/internal/host"
+	"mether/internal/proto"
 	"mether/internal/sim"
+	"mether/internal/vm"
 )
 
 // newBridgedCluster builds a Mether cluster spanning two Ethernet trunks
@@ -94,6 +96,87 @@ func TestMetherAcrossBridgedTrunks(t *testing.T) {
 		t.Errorf("host1 after cross-bridge purge = %d, want 7 (snoopy refresh must be forwarded)", v1)
 	}
 	c.checkInvariants(t)
+}
+
+// TestCrossTrunkStaleCounted pins the measurable form of the paper's
+// purge-ordering hazard: a generation-regressed broadcast from a sender
+// on another trunk (a copy the bridge queues delivered after a newer one
+// had already landed) increments Metrics.CrossTrunkStale, while the same
+// regress from a same-trunk sender counts only as a plain StaleDrop.
+func TestCrossTrunkStaleCounted(t *testing.T) {
+	c := &testCluster{k: sim.New(7)}
+	busA := ethernet.NewBus(c.k, ethernet.DefaultParams())
+	busB := ethernet.NewBus(c.k, ethernet.DefaultParams())
+	ethernet.NewBridge(c.k, busA, busB, time.Millisecond)
+	c.bus = busA
+	cfg := fastConfig(4)
+	cfg.TrunkOf = []int{0, 0, 1}
+	for i := 0; i < 3; i++ {
+		bus := busA
+		if cfg.TrunkOf[i] == 1 {
+			bus = busB
+		}
+		h := host.New(c.k, i, fmt.Sprintf("h%d", i), fastHostParams())
+		var d *Driver
+		nic := bus.Attach(fmt.Sprintf("h%d", i), func() { d.FrameArrived() })
+		d = New(h, nic, cfg)
+		d.StartServer()
+		c.hosts = append(c.hosts, h)
+		c.drivers = append(c.drivers, d)
+	}
+	t.Cleanup(func() { c.k.Shutdown() })
+
+	d0, d1 := c.drivers[0], c.drivers[1]
+	d0.CreatePage(0)
+	addr := NewAddr(0, 0).Short()
+
+	// Host 1 primes a replica; host 0 then bumps the page and purges, so
+	// host 1's copy sits at a newer generation than zero.
+	c.spawn(1, "prime", func(p *host.Proc) {
+		_ = d1.MapIn(p, RO, 0)
+		_, _ = d1.Load(p, RO, addr, 4)
+	})
+	c.run(t, 2*time.Second)
+	c.spawn(0, "bump", func(p *host.Proc) {
+		_ = d0.MapIn(p, RW, 0)
+		_ = d0.Store(p, RW, addr, 4, 9)
+		_ = d0.Purge(p, RW, addr)
+	})
+	c.run(t, 4*time.Second)
+	if g := d1.Snapshot(0).Gen; g == 0 {
+		t.Fatalf("replica did not refresh (gen %d)", g)
+	}
+
+	inject := func(from int16, at time.Duration) {
+		pkt, err := proto.AppendEncode(nil, proto.Packet{
+			Type: proto.TypeData, Page: 0, Short: true, From: from,
+			OwnerTo: proto.NoOwner, Gen: 0, Data: make([]byte, vm.ShortSize),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spoof := busB.Attach(fmt.Sprintf("spoof%d", from), nil)
+		c.k.At(at, "inject stale", func() { spoof.Send(ethernet.Broadcast, pkt) })
+	}
+	// A stale generation-0 copy arrives late, "sent" by trunk-B host 2.
+	inject(2, c.k.Now()+time.Millisecond)
+	c.run(t, 6*time.Second)
+	m1 := d1.Metrics()
+	if m1.CrossTrunkStale != 1 {
+		t.Errorf("CrossTrunkStale = %d after cross-trunk regress, want 1", m1.CrossTrunkStale)
+	}
+	staleBefore := m1.StaleDrops
+
+	// The same regress from a same-trunk sender is an ordinary stale
+	// drop: the serialized local medium cannot have reordered it.
+	inject(0, c.k.Now()+time.Millisecond)
+	c.run(t, 8*time.Second)
+	if m1.CrossTrunkStale != 1 {
+		t.Errorf("CrossTrunkStale = %d after same-trunk regress, want still 1", m1.CrossTrunkStale)
+	}
+	if m1.StaleDrops != staleBefore+1 {
+		t.Errorf("StaleDrops = %d, want %d", m1.StaleDrops, staleBefore+1)
+	}
 }
 
 func TestBridgedLatencyExceedsLocal(t *testing.T) {

@@ -52,6 +52,14 @@ type Config struct {
 	// of in a user-level server process — the paper's proposed fix for
 	// the context-switch bottleneck. See kernel.go.
 	KernelServer bool
+	// TrunkOf maps every host id to its Ethernet trunk (nil = the
+	// classic single-trunk world). The driver uses it only for
+	// diagnostics: bridge queues reorder broadcasts between trunks, so a
+	// refresh can arrive after a newer one already landed — the paper's
+	// "which purge goes out first depends on the depth of the queues in
+	// the hosts and the bridges" hazard — and the trunk map lets
+	// Metrics.CrossTrunkStale count exactly those arrivals.
+	TrunkOf []int
 }
 
 // DefaultConfig returns the calibrated Sun-3/50-class server cost model.
@@ -70,10 +78,11 @@ func DefaultConfig(numPages int) Config {
 // process goroutine on the same host (they may block the caller); the
 // server runs as its own process started by StartServer.
 type Driver struct {
-	h   *host.Host
-	nic *ethernet.NIC
-	cfg Config
-	id  int16
+	h     *host.Host
+	nic   *ethernet.NIC
+	cfg   Config
+	id    int16
+	trunk int // this host's trunk (0 when Config.TrunkOf is nil)
 
 	// pages is dense, indexed by PageID: the space is bounded by
 	// Config.NumPages, and a slice lookup on the fault/receive hot path
@@ -128,6 +137,9 @@ func New(h *host.Host, n *ethernet.NIC, cfg Config) *Driver {
 		cfg:   cfg,
 		id:    int16(h.ID()),
 		pages: make([]*pageState, cfg.NumPages),
+	}
+	if cfg.TrunkOf != nil {
+		d.trunk = cfg.TrunkOf[h.ID()]
 	}
 	d.serverKey = serverKey{h.ID()}
 	d.intrFn = func() { d.h.Wakeup(d.serverKey) }

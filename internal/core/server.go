@@ -318,11 +318,27 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 		}
 	default:
 		d.m.StaleDrops++
+		d.noteCrossTrunkStale(pkt.From)
 	}
 	// Every transit wakes the page's waiters: data-driven sleepers must
 	// observe every passing copy (they compare generations themselves),
 	// and demand waiters re-check their needs.
 	d.h.Wakeup(st.waitK)
+}
+
+// noteCrossTrunkStale counts a generation-regressed broadcast whose
+// sender sits on another trunk: bridge queues delivered it after a newer
+// copy had already landed here. This is the paper's "purges don't cross
+// bridges consistently" hazard made measurable — on a single trunk the
+// serialized medium makes such reordering impossible, so the counter
+// stays zero there by construction.
+func (d *Driver) noteCrossTrunkStale(from int16) {
+	if d.cfg.TrunkOf == nil || int(from) < 0 || int(from) >= len(d.cfg.TrunkOf) {
+		return
+	}
+	if d.cfg.TrunkOf[from] != d.trunk {
+		d.m.CrossTrunkStale++
+	}
 }
 
 // serveRestRequest answers a remainder fetch if we hold the authority.

@@ -136,22 +136,27 @@ type serverKey struct {
 // measured from first fault to access satisfaction, like the paper's
 // "mean time required for a page fault".
 type Metrics struct {
-	DemandFaults  uint64
-	DataFaults    uint64
-	RequestsSent  uint64
-	Retries       uint64
-	DataSent      uint64 // TypeData broadcasts sent (requests served + purges)
-	PurgeSends    uint64 // subset of DataSent caused by writable purges
-	RestSent      uint64
-	Installs      uint64 // copies installed because wanted/addressed to us
-	Refreshes     uint64 // snoopy refreshes of resident copies
-	StaleDrops    uint64 // broadcasts ignored because generation was older
-	PurgesRO      uint64
-	PurgesRW      uint64
-	LockFails     uint64
-	Deferred      uint64 // requests deferred due to lock/purge
-	DataFallbacks uint64 // data faults converted to demand (missed transit)
-	HoldOffs      uint64 // steal requests delayed by the residency holdoff
+	DemandFaults uint64
+	DataFaults   uint64
+	RequestsSent uint64
+	Retries      uint64
+	DataSent     uint64 // TypeData broadcasts sent (requests served + purges)
+	PurgeSends   uint64 // subset of DataSent caused by writable purges
+	RestSent     uint64
+	Installs     uint64 // copies installed because wanted/addressed to us
+	Refreshes    uint64 // snoopy refreshes of resident copies
+	StaleDrops   uint64 // broadcasts ignored because generation was older
+	// CrossTrunkStale is the subset of StaleDrops whose sender sat on a
+	// different Ethernet trunk: bridge-queue reordering delivered an old
+	// broadcast after a newer one — the multi-trunk purge-ordering
+	// hazard, zero by construction on a single trunk.
+	CrossTrunkStale uint64
+	PurgesRO        uint64
+	PurgesRW        uint64
+	LockFails       uint64
+	Deferred        uint64 // requests deferred due to lock/purge
+	DataFallbacks   uint64 // data faults converted to demand (missed transit)
+	HoldOffs        uint64 // steal requests delayed by the residency holdoff
 	// KernelTime is CPU consumed by interrupt-level protocol processing
 	// in kernel-server mode (zero with the user-level server).
 	KernelTime time.Duration

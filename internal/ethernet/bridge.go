@@ -25,16 +25,56 @@ type Bridge struct {
 	delay    time.Duration
 	aBacklog time.Duration // extra queueing toward segment A
 	bBacklog time.Duration // extra queueing toward segment B
+	aLoss    float64       // forwarding loss toward segment A
+	bLoss    float64       // forwarding loss toward segment B
 
-	forwarded uint64
+	stats BridgeStats
+	// freeFwd pools in-flight forward records (frame + prebuilt closure)
+	// so steady-state store-and-forward traffic does not allocate, like
+	// the Bus delivery pool.
+	freeFwd []*bridgeFwd
+}
+
+// bridgeFwd is one pooled store-and-forward in flight.
+type bridgeFwd struct {
+	br       *Bridge
+	from, to *NIC
+	f        Frame
+	fn       func()
+}
+
+// BridgeStats aggregates the store-and-forward counters of one bridge
+// (or, via Topology.BridgeStats, of every bridge in a topology). The
+// occupancy pair makes the paper's "depth of the queues in the bridges"
+// observable rather than assumed.
+type BridgeStats struct {
+	// Forwarded counts frames relayed onto the other segment.
+	Forwarded uint64
+	// PortDrops counts frames lost at a bridge port (per-port loss).
+	PortDrops uint64
+	// Queued is the current store-and-forward occupancy: frames received
+	// but not yet re-transmitted.
+	Queued int
+	// MaxQueued is the peak occupancy observed.
+	MaxQueued int
+}
+
+// add accumulates another bridge's counters (topology aggregation).
+func (s *BridgeStats) add(o BridgeStats) {
+	s.Forwarded += o.Forwarded
+	s.PortDrops += o.PortDrops
+	s.Queued += o.Queued
+	if o.MaxQueued > s.MaxQueued {
+		s.MaxQueued = o.MaxQueued
+	}
 }
 
 // NewBridge joins segments a and b with the given store-and-forward
 // delay. The bridge occupies one NIC address on each segment.
 func NewBridge(k *sim.Kernel, a, b *Bus, delay time.Duration) *Bridge {
 	br := &Bridge{k: k, a: a, b: b, delay: delay}
-	br.aPort = a.Attach("bridge", func() { br.pump(br.aPort, br.bPort, &br.bBacklog) })
-	br.bPort = b.Attach("bridge", func() { br.pump(br.bPort, br.aPort, &br.aBacklog) })
+	br.aPort = a.Attach("bridge", func() { br.pump(br.aPort, br.bPort, &br.bBacklog, &br.bLoss) })
+	br.bPort = b.Attach("bridge", func() { br.pump(br.bPort, br.aPort, &br.aBacklog, &br.aLoss) })
 	return br
 }
 
@@ -47,22 +87,69 @@ func (br *Bridge) SetBacklog(towardA, towardB time.Duration) {
 	br.bBacklog = towardB
 }
 
+// SetPortLoss models lossy bridge ports: a frame crossing toward
+// segment A (respectively B) is dropped at the port with the given
+// probability instead of being forwarded. Drops are counted in
+// Stats().PortDrops. Draws come from the simulation kernel's seeded
+// RNG, so lossy bridged runs stay deterministic.
+func (br *Bridge) SetPortLoss(towardA, towardB float64) {
+	br.aLoss = towardA
+	br.bLoss = towardB
+}
+
 // Forwarded returns the number of frames the bridge has relayed.
-func (br *Bridge) Forwarded() uint64 { return br.forwarded }
+func (br *Bridge) Forwarded() uint64 { return br.stats.Forwarded }
+
+// Stats returns a snapshot of the bridge counters.
+func (br *Bridge) Stats() BridgeStats { return br.stats }
 
 // pump drains one port's ring onto the other segment.
-func (br *Bridge) pump(from, to *NIC, backlog *time.Duration) {
+func (br *Bridge) pump(from, to *NIC, backlog *time.Duration, loss *float64) {
 	for {
 		f, ok := from.Recv()
 		if !ok {
 			return
 		}
-		br.forwarded++
-		br.k.After(br.delay+*backlog, "bridge forward", func() {
-			// Send copies the payload into the destination segment's
-			// pool, so the source buffer can be recycled afterwards.
-			to.Send(f.Dst, f.Payload)
+		if *loss > 0 && br.k.Rand().Float64() < *loss {
+			br.stats.PortDrops++
 			from.Release(f)
-		})
+			continue
+		}
+		br.stats.Forwarded++
+		br.stats.Queued++
+		if br.stats.Queued > br.stats.MaxQueued {
+			br.stats.MaxQueued = br.stats.Queued
+		}
+		fw := br.acquireFwd()
+		fw.from, fw.to, fw.f = from, to, f
+		br.k.After(br.delay+*backlog, "bridge forward", fw.fn)
 	}
+}
+
+// acquireFwd takes a forward record (with its prebuilt closure) from the
+// pool.
+func (br *Bridge) acquireFwd() *bridgeFwd {
+	if l := len(br.freeFwd); l > 0 {
+		fw := br.freeFwd[l-1]
+		br.freeFwd[l-1] = nil
+		br.freeFwd = br.freeFwd[:l-1]
+		return fw
+	}
+	fw := &bridgeFwd{br: br}
+	fw.fn = func() { fw.run() }
+	return fw
+}
+
+// run completes one store-and-forward: re-transmit on the far segment,
+// release the source buffer, recycle the record. Send copies the payload
+// into the destination segment's pool, so the source buffer can be
+// recycled immediately afterwards.
+func (fw *bridgeFwd) run() {
+	br := fw.br
+	br.stats.Queued--
+	fw.to.Send(fw.f.Dst, fw.f.Payload)
+	fw.from.Release(fw.f)
+	fw.f = Frame{}
+	fw.from, fw.to = nil, nil
+	br.freeFwd = append(br.freeFwd, fw)
 }

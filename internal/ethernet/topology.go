@@ -1,0 +1,157 @@
+// Multi-trunk topologies: the paper's Mether ran on "an Ethernet" that
+// was really several trunks joined by store-and-forward bridges, and its
+// host/network-load argument leans on that structure — broadcasts cross
+// bridges late (and in environment-dependent order), so protocols that
+// assume a single global broadcast medium quietly stop being what they
+// claim. Topology builds N buses joined by Bridges in the two loop-free
+// arrangements worth measuring: a star around a backbone trunk and a
+// linear chain. Both are trees, so flooding is storm-free and every
+// trunk pair has exactly one path.
+package ethernet
+
+import (
+	"fmt"
+	"time"
+
+	"mether/internal/sim"
+)
+
+// Shape selects how a multi-trunk topology arranges its bridges.
+type Shape int
+
+const (
+	// Star joins every other trunk to trunk 0 (the backbone) with one
+	// bridge each: any cross-trunk frame takes at most two hops.
+	Star Shape = iota
+	// Linear chains trunk i to trunk i+1: the worst case, where a frame
+	// between the end trunks crosses every bridge.
+	Linear
+)
+
+// String returns the shape mnemonic used in scenario names.
+func (s Shape) String() string {
+	switch s {
+	case Star:
+		return "star"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// ShapeByName parses a shape mnemonic ("star", "linear"); empty selects
+// Star.
+func ShapeByName(name string) (Shape, error) {
+	switch name {
+	case "", "star":
+		return Star, nil
+	case "linear":
+		return Linear, nil
+	default:
+		return 0, fmt.Errorf("ethernet: unknown topology shape %q (want star or linear)", name)
+	}
+}
+
+// TopologyConfig parameterizes the bridges of a multi-trunk topology.
+// The zero value gets a 1 ms store-and-forward delay, symmetric empty
+// backlogs and loss-free ports.
+type TopologyConfig struct {
+	// Shape arranges the trunks (default Star).
+	Shape Shape
+	// BridgeDelay is each bridge's store-and-forward delay (default 1 ms,
+	// an era-plausible latency for a two-port Ethernet bridge).
+	BridgeDelay time.Duration
+	// BacklogDown and BacklogUp model asymmetric background traffic on
+	// every bridge: frames crossing toward the lower-numbered trunk
+	// (respectively higher) are additionally delayed by the given amount.
+	BacklogDown time.Duration
+	BacklogUp   time.Duration
+	// PortLoss is the probability that a frame is dropped at a bridge
+	// port instead of being forwarded (applied in both directions).
+	PortLoss float64
+}
+
+func (tc TopologyConfig) withDefaults() TopologyConfig {
+	if tc.BridgeDelay == 0 {
+		tc.BridgeDelay = time.Millisecond
+	}
+	return tc
+}
+
+// Topology is a set of trunks (buses) joined by bridges into a loop-free
+// tree. Attach NICs to individual trunks with Bus(i).Attach.
+type Topology struct {
+	buses   []*Bus
+	bridges []*Bridge
+}
+
+// NewTopology builds trunks buses with the shared segment parameters p,
+// joined per tc. trunks must be at least 1; a single trunk builds no
+// bridges and behaves exactly like a lone NewBus segment.
+func NewTopology(k *sim.Kernel, trunks int, p Params, tc TopologyConfig) *Topology {
+	if trunks < 1 {
+		panic(fmt.Sprintf("ethernet: topology needs at least 1 trunk, got %d", trunks))
+	}
+	tc = tc.withDefaults()
+	t := &Topology{}
+	for i := 0; i < trunks; i++ {
+		t.buses = append(t.buses, NewBus(k, p))
+	}
+	link := func(lo, hi int) {
+		br := NewBridge(k, t.buses[lo], t.buses[hi], tc.BridgeDelay)
+		br.SetBacklog(tc.BacklogDown, tc.BacklogUp)
+		br.SetPortLoss(tc.PortLoss, tc.PortLoss)
+		t.bridges = append(t.bridges, br)
+	}
+	switch tc.Shape {
+	case Star:
+		for i := 1; i < trunks; i++ {
+			link(0, i)
+		}
+	case Linear:
+		for i := 0; i < trunks-1; i++ {
+			link(i, i+1)
+		}
+	default:
+		panic(fmt.Sprintf("ethernet: unknown topology shape %d", tc.Shape))
+	}
+	return t
+}
+
+// Trunks returns the number of buses.
+func (t *Topology) Trunks() int { return len(t.buses) }
+
+// Bus returns trunk i's segment.
+func (t *Topology) Bus(i int) *Bus { return t.buses[i] }
+
+// Bridges returns the bridges in construction order (advanced use:
+// per-bridge backlog or loss overrides before a run).
+func (t *Topology) Bridges() []*Bridge { return t.bridges }
+
+// Stats sums the segment counters over every trunk. A frame forwarded
+// across k bridges is counted on each trunk it crosses — cross-trunk
+// traffic really does occupy every wire it transits, which is exactly
+// the redundancy-vs-load cost the topology axis measures.
+func (t *Topology) Stats() Stats {
+	var s Stats
+	for _, b := range t.buses {
+		bs := b.Stats()
+		s.Frames += bs.Frames
+		s.WireBytes += bs.WireBytes
+		s.PayloadBytes += bs.PayloadBytes
+		s.WireLost += bs.WireLost
+		s.RingDrops += bs.RingDrops
+		s.BusyTime += bs.BusyTime
+	}
+	return s
+}
+
+// BridgeStats sums the bridge counters over every bridge.
+func (t *Topology) BridgeStats() BridgeStats {
+	var s BridgeStats
+	for _, br := range t.bridges {
+		s.add(br.Stats())
+	}
+	return s
+}

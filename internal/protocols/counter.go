@@ -33,6 +33,8 @@ func worldConfig(cfg Config) mether.Config {
 		HostParams: cfg.HostParams,
 		NetParams:  cfg.NetParams,
 		Core:       cfg.Core,
+		Trunks:     cfg.Trunks,
+		Topology:   cfg.Topology,
 	}
 }
 
@@ -412,11 +414,17 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 	if r.Wall > 0 {
 		r.NetBytesPerSec = stats.BytesPerSec(r.NetBytes, r.Wall)
 	}
+	bs := w.BridgeStats()
+	r.BridgeForwarded = bs.Forwarded
+	r.BridgePortDrops = bs.PortDrops
+	r.BridgeMaxQueued = bs.MaxQueued
 	for i := 0; i < w.NumHosts(); i++ {
 		r.CtxSwitches += w.ContextSwitches(i)
 		m := w.Driver(i).Metrics()
 		r.Retries += m.Retries
 		r.DataFallbacks += m.DataFallbacks
+		r.StaleDrops += m.StaleDrops
+		r.CrossTrunkStale += m.CrossTrunkStale
 	}
 	if r.Additions > 0 {
 		r.CtxPerAdd = float64(r.CtxSwitches) / float64(r.Additions)

@@ -104,6 +104,13 @@ type Config struct {
 	NetParams  ethernet.Params
 	Core       core.Config
 
+	// Trunks splits the two hosts across bridged Ethernet trunks (0/1 =
+	// the classic single bus; 2 puts the counting peers on opposite
+	// trunks so every packet pays the bridge's store-and-forward hop).
+	// Topology parameterizes the bridges.
+	Trunks   int
+	Topology ethernet.TopologyConfig
+
 	// TraceLimit, when positive, records the first N datagrams of the
 	// run with the protocol analyzer; the rendered trace is returned in
 	// Report.Trace.
@@ -170,6 +177,18 @@ type Report struct {
 	Retries       uint64
 	DataFallbacks uint64
 	RingDrops     uint64
+	// Topology extras, zero by construction on a single trunk: the
+	// bridges' forwarded/occupancy/loss counters and CrossTrunkStale —
+	// broadcasts whose bridge-queue reordering delivered them after a
+	// newer copy had already landed.
+	BridgeForwarded uint64
+	BridgePortDrops uint64
+	BridgeMaxQueued int
+	CrossTrunkStale uint64
+	// StaleDrops totals every generation-regressed broadcast, bridged
+	// or not (single-trunk host-queue races produce them too);
+	// CrossTrunkStale is its cross-trunk subset.
+	StaleDrops uint64
 	// Events is the number of simulation-kernel events dispatched for the
 	// run — the engine-throughput denominator (deterministic: a pure
 	// function of config and seed).

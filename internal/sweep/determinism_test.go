@@ -109,6 +109,57 @@ func TestEstCostOrdersClusterLongPolesFirst(t *testing.T) {
 	}
 }
 
+// bridgedLossGrid is a small topology grid with every nondeterminism
+// hazard at once: seeded datagram loss on the wire, per-port loss at the
+// bridges, both shapes, and owner placement across trunks.
+func bridgedLossGrid() []Scenario {
+	return []Scenario{
+		{Name: "topo/stationary/t2-loss", Kind: KindStationary, Hosts: 8, Iters: 8,
+			Trunks: 2, LossRate: 0.01, Seed: 5},
+		{Name: "topo/stationary/t2-portloss", Kind: KindStationary, Hosts: 8, Iters: 8,
+			Trunks: 2, PortLoss: 0.05, Seed: 5},
+		{Name: "topo/hotspot/t2-loss", Kind: KindHotspot, Hosts: 4, Iters: 8,
+			Trunks: 2, OwnerTrunk: 1, LossRate: 0.01, Seed: 5},
+		{Name: "topo/barrier/t4-linear-loss", Kind: KindBarrier, Hosts: 8, Phases: 3,
+			Trunks: 4, TrunkShape: "linear", LossRate: 0.01, Seed: 5},
+	}
+}
+
+// TestBridgedLossReportDeterministic proves the topology axis keeps the
+// engine's core property: a bridged multi-trunk world with seeded wire
+// and bridge-port loss yields byte-identical reports across repeated
+// runs and across worker counts.
+func TestBridgedLossReportDeterministic(t *testing.T) {
+	render := func(workers int) []byte {
+		rep, _ := Runner{Workers: workers}.Run("topo", bridgedLossGrid())
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := render(1)
+	if again := render(1); !bytes.Equal(serial, again) {
+		t.Fatalf("two identical bridged lossy sweeps diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", serial, again)
+	}
+	if parallel := render(8); !bytes.Equal(serial, parallel) {
+		t.Fatalf("worker count changed the bridged lossy report:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	// The grid must actually exercise the hazards it claims to cover.
+	rep, _ := Runner{Workers: 2}.Run("topo", bridgedLossGrid())
+	for _, r := range rep.Scenarios {
+		if r.Err != "" {
+			t.Errorf("%s failed: %s", r.Name, r.Err)
+		}
+		if r.BridgeForwarded == 0 {
+			t.Errorf("%s forwarded no frames across bridges", r.Name)
+		}
+	}
+	if rep.Scenarios[1].BridgePortDrops == 0 {
+		t.Errorf("port-loss cell dropped nothing at the bridge")
+	}
+}
+
 // TestSeedChangesReport guards against the opposite failure: if two
 // different seeds produced identical reports the determinism tests above
 // would be vacuous.

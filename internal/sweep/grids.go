@@ -20,6 +20,13 @@ type Options struct {
 	// every size. CI smoke uses Hosts=16 so the fast cell gates every
 	// push while the 64/256 cells stay on demand.
 	Hosts int
+	// Trunks restricts the cluster grid's topology axis. Zero runs the
+	// full grid: the classic single-trunk cells plus the explicit
+	// 2-/4-trunk and broadcast-loss cells. One runs only the classic
+	// cells — the exact pre-topology grid, kept reproducible so
+	// -baseline comparisons against older reports show zero deltas.
+	// N > 1 instead runs every base cell on N star-joined trunks.
+	Trunks int
 }
 
 func (o Options) withDefaults() Options {
@@ -47,7 +54,7 @@ func FigureScenarios(o Options) []Scenario {
 		// passive spin protocol genuinely never finishes, so it runs
 		// against a cap.
 		{Name: "fig6-disjoint-ro", Kind: KindCounter, Protocol: protocols.P3DisjointRO,
-			Target: o.Target, Seed: o.Seed, LossRate: 0.002, Cap: figCap},
+			Target: o.Target, Seed: o.Seed, LossRate: 0.002, Cap: figCap, MayDNF: true},
 		{Name: "fig7-hysteresis", Kind: KindCounter, Protocol: protocols.P3Hysteresis,
 			Target: o.Target, Seed: o.Seed, HysteresisN: 100},
 		{Name: "fig8-data-driven", Kind: KindCounter, Protocol: protocols.P4DataDriven,
@@ -98,6 +105,12 @@ func LossAblation(o Options) []Scenario {
 			Name: fmt.Sprintf("loss/%v/%.1f%%", tc.p, tc.loss*100), Kind: KindCounter,
 			Protocol: tc.p, Target: o.Target, Seed: o.Seed,
 			HysteresisN: 100, LossRate: tc.loss, Cap: cap,
+			// The passive paths have no recovery: P3-disjoint-ro trusts
+			// snoopy refresh outright, and P5's data-driven block never
+			// retransmits — one lost release broadcast under loss can
+			// strand both waiters. Whether these finish under loss is
+			// the measurement (the paper's reliability discussion).
+			MayDNF: tc.loss > 0 && (tc.p == protocols.P3DisjointRO || tc.p == protocols.P5Final),
 		})
 	}
 	return out
@@ -117,6 +130,10 @@ func HysteresisSweep(o Options) []Scenario {
 			Name: fmt.Sprintf("hysteresis/N=%d", n), Kind: KindCounter,
 			Protocol: protocols.P3Hysteresis, Target: o.Target, Seed: o.Seed,
 			HysteresisN: n, Cap: cap,
+			// Only the boundary cells are "whether it finishes is the
+			// measurement" runs; a mid-range cell hitting its cap is
+			// exactly the correctness drift the DNF gate must catch.
+			MayDNF: n == 1 || n == 10000,
 		})
 	}
 	out = append(out, Scenario{
@@ -224,17 +241,31 @@ func FanoutGrid(o Options) []Scenario {
 // cell stays tractable; what the grid measures is how load and latency
 // scale with fan-out, not raw op counts. At 256 hosts and beyond the
 // grid adds the loss-rate and kernel-server axes: datagram loss tests
-// the retry path at scale, and interrupt-level protocol processing (the
-// paper's proposed fix) is exactly the placement whose payoff grows
-// with broadcast fan-in. Options.Hosts restricts the grid to one size:
-// the CI smoke cell runs -hosts 16, and `make cluster-large` runs the
-// 1024-host tier via -hosts 1024 (kept out of the default sizes so
-// `make cluster` and bench records stay comparable across PRs).
+// the retry path at scale (on the broadcast-bound barrier and hotspot
+// kinds as well as the linear stationary baseline), and interrupt-level
+// protocol processing (the paper's proposed fix) is exactly the
+// placement whose payoff grows with broadcast fan-in. At 64 and 256
+// hosts the grid adds the topology axis: 2-trunk star, 4-trunk star and
+// 4-trunk linear-chain cells split the cluster across bridged Ethernet
+// trunks (the paper's real network), and the 2-trunk hotspot cell
+// additionally homes the hot segment on the far trunk. Options.Hosts
+// restricts the grid to one size: the CI smoke cell runs -hosts 16, and
+// `make cluster-large` runs the 1024-host tier via -hosts 1024 (kept
+// out of the default sizes so `make cluster` and bench records stay
+// comparable across PRs). Options.Trunks restricts the topology axis —
+// see its doc.
 func ClusterGrid(o Options) []Scenario {
 	o = o.withDefaults()
 	sizes := []int{16, 64, 256}
 	if o.Hosts != 0 {
 		sizes = []int{o.Hosts}
+	}
+	// -trunks N forces every base cell onto N star-joined trunks instead
+	// of adding the explicit topology cells.
+	forcedTrunks, suffix := 0, ""
+	if o.Trunks > 1 {
+		forcedTrunks = o.Trunks
+		suffix = fmt.Sprintf("/t%d-star", o.Trunks)
 	}
 	var out []Scenario
 	for _, h := range sizes {
@@ -284,24 +315,67 @@ func ClusterGrid(o Options) []Scenario {
 			ring = 4 * h
 		}
 		out = append(out,
-			Scenario{Name: fmt.Sprintf("cluster/stationary/h%d", h), Kind: KindStationary,
-				Hosts: h, Iters: iters * 2, WarmStart: warm, RxRing: ring, Seed: o.Seed},
-			Scenario{Name: fmt.Sprintf("cluster/barrier/h%d", h), Kind: KindBarrier,
+			Scenario{Name: "cluster/stationary/h" + fmt.Sprint(h) + suffix, Kind: KindStationary,
+				Hosts: h, Iters: iters * 2, WarmStart: warm, RxRing: ring,
+				Trunks: forcedTrunks, Seed: o.Seed},
+			Scenario{Name: "cluster/barrier/h" + fmt.Sprint(h) + suffix, Kind: KindBarrier,
 				Hosts: h, Phases: phases, HysteresisN: hyst, CheckEvery: check,
-				WarmStart: warm, RxRing: ring, Seed: o.Seed},
-			Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d", h), Kind: KindHotspot,
+				WarmStart: warm, RxRing: ring, Trunks: forcedTrunks, Seed: o.Seed},
+			Scenario{Name: "cluster/hotspot/h" + fmt.Sprint(h) + suffix, Kind: KindHotspot,
 				Hosts: h, Iters: hotIters, Writers: writers, MinResidency: res,
-				RetryTimeout: retry, WarmStart: warm, RxRing: ring, Seed: o.Seed},
+				RetryTimeout: retry, WarmStart: warm, RxRing: ring,
+				Trunks: forcedTrunks, Seed: o.Seed},
 		)
 		if h >= 256 {
 			out = append(out,
-				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/loss-0.2%%", h), Kind: KindStationary,
-					Hosts: h, Iters: iters * 2, LossRate: 0.002, WarmStart: warm, RxRing: ring, Seed: o.Seed},
-				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/kernel", h), Kind: KindStationary,
-					Hosts: h, Iters: iters * 2, KernelServer: true, WarmStart: warm, RxRing: ring, Seed: o.Seed},
-				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/kernel", h), Kind: KindHotspot,
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/loss-0.2%%", h) + suffix, Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, LossRate: 0.002, WarmStart: warm, RxRing: ring,
+					Trunks: forcedTrunks, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/kernel", h) + suffix, Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, KernelServer: true, WarmStart: warm, RxRing: ring,
+					Trunks: forcedTrunks, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/kernel", h) + suffix, Kind: KindHotspot,
 					Hosts: h, Iters: hotIters, Writers: writers, MinResidency: res,
-					RetryTimeout: retry, KernelServer: true, WarmStart: warm, RxRing: ring, Seed: o.Seed},
+					RetryTimeout: retry, KernelServer: true, WarmStart: warm, RxRing: ring,
+					Trunks: forcedTrunks, Seed: o.Seed},
+			)
+		}
+		if forcedTrunks != 0 || o.Trunks == 1 {
+			continue
+		}
+		// The topology axis (default grid only): split the 64- and
+		// 256-host clusters across bridged trunks. The stationary cells
+		// measure the linear-load baseline under both shapes (a 4-trunk
+		// linear chain is the worst case: end-to-end frames cross every
+		// bridge); the barrier cell makes every arrival broadcast pay the
+		// forwarding hop before its cross-trunk waiters release; the
+		// hotspot cell additionally homes the hot segment on trunk 1, so
+		// trunk 0's writers steal it across the bridge first.
+		if h == 64 || h == 256 {
+			out = append(out,
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t2-star", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 2, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t4-linear", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 4, TrunkShape: "linear", Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/barrier/h%d/t2-star", h), Kind: KindBarrier,
+					Hosts: h, Phases: phases, HysteresisN: hyst, Trunks: 2, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/t2-star", h), Kind: KindHotspot,
+					Hosts: h, Iters: hotIters, MinResidency: res,
+					Trunks: 2, OwnerTrunk: 1, Seed: o.Seed},
+			)
+		}
+		if h == 256 {
+			out = append(out,
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t4-star", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 4, Seed: o.Seed},
+				// The loss axis on the broadcast-bound kinds: the
+				// stationary baseline had a loss cell from PR 2; these
+				// stress the retry/hysteresis recovery paths where every
+				// op is a cluster-wide broadcast.
+				Scenario{Name: fmt.Sprintf("cluster/barrier/h%d/loss-0.2%%", h), Kind: KindBarrier,
+					Hosts: h, Phases: phases, HysteresisN: hyst, LossRate: 0.002, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/loss-0.2%%", h), Kind: KindHotspot,
+					Hosts: h, Iters: hotIters, MinResidency: res, LossRate: 0.002, Seed: o.Seed},
 			)
 		}
 	}
@@ -326,6 +400,7 @@ func SmokeGrid(o Options) []Scenario {
 		{Name: "smoke/hotspot", Kind: KindHotspot, Hosts: 2, Iters: 8, ShortPage: true, Seed: o.Seed},
 		{Name: "smoke/barrier", Kind: KindBarrier, Hosts: 2, Phases: 4, Seed: o.Seed},
 		{Name: "smoke/pipeline", Kind: KindPipeline, Stages: 3, Messages: 8, MsgSize: 8, Seed: o.Seed},
+		{Name: "smoke/stationary-t2", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2, Seed: o.Seed},
 	}
 }
 

@@ -34,7 +34,9 @@ var csvColumns = []string{
 	"user_ns", "sys_ns", "server_ns", "ctx_switches",
 	"wire_bytes", "packets", "net_bytes_per_sec",
 	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_max_ns", "lat_count",
-	"events", "deviations",
+	"events",
+	"bridge_forwarded", "bridge_port_drops", "bridge_max_queued", "cross_trunk_stale",
+	"deviations",
 }
 
 // CSV renders the report as one header row plus one row per scenario.
@@ -62,6 +64,10 @@ func (r Report) CSV() []byte {
 			strconv.FormatInt(s.LatP90NS, 10), strconv.FormatInt(s.LatMaxNS, 10),
 			strconv.FormatUint(s.LatCount, 10),
 			strconv.FormatUint(s.Events, 10),
+			strconv.FormatUint(s.BridgeForwarded, 10),
+			strconv.FormatUint(s.BridgePortDrops, 10),
+			strconv.Itoa(s.BridgeMaxQueued),
+			strconv.FormatUint(s.CrossTrunkStale, 10),
 			csvQuote(strings.Join(s.Deviations, "; ")),
 		}
 		for i, c := range row {
@@ -116,6 +122,8 @@ var compareMetrics = []struct {
 	{"wire_bytes", func(r Result) float64 { return float64(r.WireBytes) }},
 	{"ctx_switches", func(r Result) float64 { return float64(r.CtxSwitches) }},
 	{"ops_per_sec", func(r Result) float64 { return r.OpsPerSec }},
+	{"bridge_forwarded", func(r Result) float64 { return float64(r.BridgeForwarded) }},
+	{"cross_trunk_stale", func(r Result) float64 { return float64(r.CrossTrunkStale) }},
 }
 
 // Compare reports per-scenario metric changes of r against a baseline,

@@ -107,6 +107,23 @@ type Scenario struct {
 	// barrier and stationary scenarios.
 	LossRate     float64
 	KernelServer bool
+	// Topology axes (counter, hotspot, barrier, stationary). Trunks
+	// partitions the hosts across bridged Ethernet trunks (0/1 = the
+	// classic single bus); TrunkShape is "star" (default) or "linear";
+	// OwnerTrunk places the hotspot segment owner's trunk (hotspot
+	// only — the other kinds' page layouts are fixed by the workload);
+	// PortLoss is the per-port bridge forwarding loss probability.
+	// Other bridge parameters stay at the model defaults (1 ms
+	// store-and-forward).
+	Trunks     int
+	TrunkShape string
+	OwnerTrunk int
+	PortLoss   float64
+	// MayDNF marks cells whose failure to finish is part of the
+	// measurement (the paper's "Never finished" rows: Figure 6, the
+	// hysteresis extremes, lossy passive protocols). methersweep treats
+	// a DNF on any cell *not* so marked as a gate failure.
+	MayDNF bool
 	// RxRing overrides the per-NIC receive ring capacity (zero = model
 	// default, 32 frames). A 1024-host broadcast burst arrives at wire
 	// speed but drains at server speed; the era-accurate 32-slot ring
@@ -150,6 +167,16 @@ type Result struct {
 	// dispatched — deterministic like every other field; the engine
 	// throughput denominator for BENCH_sweep.json records.
 	Events uint64 `json:"events,omitempty"`
+
+	// Topology measurements, all zero (and omitted, keeping single-trunk
+	// reports byte-identical to pre-topology baselines) on a single
+	// trunk: bridge forwarded/drop/occupancy counters and the
+	// cross-trunk staleness hazard (broadcasts reordered by bridge
+	// queues so an old copy arrived after a newer one).
+	BridgeForwarded uint64 `json:"bridge_forwarded,omitempty"`
+	BridgePortDrops uint64 `json:"bridge_port_drops,omitempty"`
+	BridgeMaxQueued int    `json:"bridge_max_queued,omitempty"`
+	CrossTrunkStale uint64 `json:"cross_trunk_stale,omitempty"`
 
 	// Deviations lists paper-band violations when the scenario carries a
 	// Figure reference; empty means all checked cells agree.
@@ -214,10 +241,27 @@ func (s Scenario) coreConfig() core.Config {
 	return cc
 }
 
+// shape resolves the scenario's TrunkShape mnemonic, panicking on an
+// unknown name; Run pre-validates so sweep cells fail softly instead.
+func (s Scenario) shape() ethernet.Shape {
+	sh, err := ethernet.ShapeByName(s.TrunkShape)
+	if err != nil {
+		panic(err)
+	}
+	return sh
+}
+
 // CounterConfig assembles the protocols.Config a KindCounter scenario
 // runs; exported so benches and cmd/metherbench drive the exact same
-// configuration the sweep engine does.
+// configuration the sweep engine does. An invalid TrunkShape panics
+// (programmer error in a bench definition); sweep cells go through
+// Run, which pre-validates and fails the cell softly instead.
 func (s Scenario) CounterConfig() protocols.Config {
+	return s.counterConfig(s.shape())
+}
+
+// counterConfig is CounterConfig with the trunk shape already resolved.
+func (s Scenario) counterConfig(shape ethernet.Shape) protocols.Config {
 	return protocols.Config{
 		Protocol:        s.Protocol,
 		Target:          s.Target,
@@ -227,6 +271,8 @@ func (s Scenario) CounterConfig() protocols.Config {
 		Seed:            s.Seed,
 		NetParams:       s.netParams(),
 		Core:            s.coreConfig(),
+		Trunks:          s.Trunks,
+		Topology:        ethernet.TopologyConfig{Shape: shape, PortLoss: s.PortLoss},
 	}
 }
 
@@ -235,9 +281,14 @@ func (s Scenario) CounterConfig() protocols.Config {
 // whole sweep.
 func (s Scenario) Run() Result {
 	res := Result{Name: s.Name, Kind: s.Kind, Seed: s.Seed}
+	trunkShape, err := ethernet.ShapeByName(s.TrunkShape)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
 	switch s.Kind {
 	case KindCounter:
-		r, err := protocols.Run(s.CounterConfig())
+		r, err := protocols.Run(s.counterConfig(trunkShape))
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -259,6 +310,10 @@ func (s Scenario) Run() Result {
 		res.LatMaxNS = int64(r.LatMax)
 		res.LatCount = r.LatCount
 		res.Events = r.Events
+		res.BridgeForwarded = r.BridgeForwarded
+		res.BridgePortDrops = r.BridgePortDrops
+		res.BridgeMaxQueued = r.BridgeMaxQueued
+		res.CrossTrunkStale = r.CrossTrunkStale
 		if r.Wall > 0 {
 			res.OpsPerSec = float64(r.Additions) / r.Wall.Seconds()
 		}
@@ -305,7 +360,8 @@ func (s Scenario) Run() Result {
 			Writers: s.Writers, WarmStart: s.WarmStart,
 			MinResidency: s.MinResidency, RetryTimeout: s.RetryTimeout,
 			KernelServer: s.KernelServer,
-			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			Trunks:       s.Trunks, TrunkShape: trunkShape, OwnerTrunk: s.OwnerTrunk, PortLoss: s.PortLoss,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -322,7 +378,8 @@ func (s Scenario) Run() Result {
 			Hosts: s.Hosts, Phases: s.Phases, HysteresisPurge: s.HysteresisN,
 			CheckEvery: s.CheckEvery, WarmStart: s.WarmStart,
 			KernelServer: s.KernelServer,
-			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -348,7 +405,8 @@ func (s Scenario) Run() Result {
 		r, err := workload.RunStationary(workload.StationaryConfig{
 			Hosts: s.Hosts, Iters: s.Iters, WarmStart: s.WarmStart,
 			KernelServer: s.KernelServer,
-			Seed:         s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
+			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -378,6 +436,10 @@ func (r *Result) fillCluster(cs workload.ClusterStats) {
 	r.LatMaxNS = int64(cs.LatMax)
 	r.LatCount = cs.LatCount
 	r.Events = cs.Events
+	r.BridgeForwarded = cs.BridgeForwarded
+	r.BridgePortDrops = cs.BridgePortDrops
+	r.BridgeMaxQueued = cs.BridgeMaxQueued
+	r.CrossTrunkStale = cs.CrossTrunkStale
 	if cs.Wall > 0 {
 		if r.Ops > 0 && r.OpsPerSec == 0 {
 			r.OpsPerSec = float64(r.Ops) / cs.Wall.Seconds()

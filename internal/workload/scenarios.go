@@ -37,6 +37,17 @@ type ClusterStats struct {
 	LatP90   time.Duration
 	LatMax   time.Duration
 	LatCount uint64
+	// Topology counters (zero on a single trunk): bridge forwarded
+	// frames, per-port drops, peak store-and-forward occupancy, and the
+	// drivers' staleness counters — StaleDrops totals every
+	// generation-regressed broadcast, CrossTrunkStale the subset that
+	// bridge queues reordered across trunks (the paper's purge-ordering
+	// hazard, measured instead of asserted in a comment).
+	BridgeForwarded uint64
+	BridgePortDrops uint64
+	BridgeMaxQueued int
+	StaleDrops      uint64
+	CrossTrunkStale uint64
 }
 
 // collectCluster harvests ClusterStats from a finished world. extra is
@@ -60,6 +71,15 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	cs.WireBytes = ns.WireBytes
 	cs.Packets = ns.Frames
 	cs.Events = w.EventsDispatched()
+	bs := w.BridgeStats()
+	cs.BridgeForwarded = bs.Forwarded
+	cs.BridgePortDrops = bs.PortDrops
+	cs.BridgeMaxQueued = bs.MaxQueued
+	for i := 0; i < w.NumHosts(); i++ {
+		m := w.Driver(i).Metrics()
+		cs.StaleDrops += m.StaleDrops
+		cs.CrossTrunkStale += m.CrossTrunkStale
+	}
 
 	var lat stats.Histogram
 	if extra != nil {
@@ -121,8 +141,19 @@ type HotspotConfig struct {
 	// KernelServer runs protocol processing at interrupt level (the
 	// paper's proposed fix) instead of in the user-level server process.
 	KernelServer bool
-	Seed         int64
-	Cap          time.Duration
+	// Trunks partitions the hosts across bridged Ethernet trunks (0/1 =
+	// the classic single bus); TrunkShape arranges them (star default).
+	Trunks     int
+	TrunkShape ethernet.Shape
+	// OwnerTrunk places the hot page's initial owner on a trunk (its
+	// first host). The owner is where the consistent copy starts — on a
+	// bridged topology, which trunk hosts it decides who pays the
+	// store-and-forward hop for the first round of steals.
+	OwnerTrunk int
+	// PortLoss is the per-port bridge forwarding loss probability.
+	PortLoss float64
+	Seed     int64
+	Cap      time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -174,7 +205,10 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 	if err != nil {
 		return HotspotReport{}, err
 	}
-	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams}
+	wcfg := mether.Config{
+		Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams,
+		Trunks: cfg.Trunks, Topology: ethernet.TopologyConfig{Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss},
+	}
 	if cfg.MinResidency > 0 || cfg.RetryTimeout > 0 || cfg.KernelServer {
 		wcfg.Core = core.DefaultConfig(8)
 		if cfg.MinResidency > 0 {
@@ -187,7 +221,7 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
-	seg, err := w.CreateSegment("hotspot", 1, 0)
+	seg, err := w.CreateSegmentOnTrunk("hotspot", 1, cfg.OwnerTrunk)
 	if err != nil {
 		return HotspotReport{}, err
 	}
@@ -275,9 +309,18 @@ type BarrierConfig struct {
 	WarmStart bool
 	// KernelServer runs protocol processing at interrupt level.
 	KernelServer bool
-	Seed         int64
-	Cap          time.Duration
-	NetParams    ethernet.Params
+	// Trunks partitions the hosts across bridged Ethernet trunks (0/1 =
+	// single bus); TrunkShape arranges them. Every arrival broadcast
+	// must then be forwarded to every other trunk before its waiters
+	// release — the barrier is the broadcast-bound worst case for a
+	// bridged topology.
+	Trunks     int
+	TrunkShape ethernet.Shape
+	// PortLoss is the per-port bridge forwarding loss probability.
+	PortLoss  float64
+	Seed      int64
+	Cap       time.Duration
+	NetParams ethernet.Params
 }
 
 // BarrierReport is the barrier run's measurements. The latency fields of
@@ -326,7 +369,10 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 	if pages < 8 {
 		pages = 8
 	}
-	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams}
+	wcfg := mether.Config{
+		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams,
+		Trunks: cfg.Trunks, Topology: ethernet.TopologyConfig{Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss},
+	}
 	if cfg.KernelServer {
 		wcfg.Core = core.DefaultConfig(pages)
 		wcfg.Core.KernelServer = true

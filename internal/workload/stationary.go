@@ -42,8 +42,17 @@ type StationaryConfig struct {
 	WarmStart bool
 	// KernelServer runs protocol processing at interrupt level.
 	KernelServer bool
-	Seed         int64
-	Cap          time.Duration
+	// Trunks partitions the hosts across bridged Ethernet trunks (0/1 =
+	// single bus); TrunkShape arranges them. Each host's page is owned
+	// (served) by that host, so placement follows the block partition:
+	// intra-trunk samples stay local while the border hosts' ring
+	// neighbours sit across a bridge.
+	Trunks     int
+	TrunkShape ethernet.Shape
+	// PortLoss is the per-port bridge forwarding loss probability.
+	PortLoss float64
+	Seed     int64
+	Cap      time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -93,7 +102,10 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	if pages < 8 {
 		pages = 8
 	}
-	wcfg := mether.Config{Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams}
+	wcfg := mether.Config{
+		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams,
+		Trunks: cfg.Trunks, Topology: ethernet.TopologyConfig{Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss},
+	}
 	if cfg.KernelServer {
 		wcfg.Core = core.DefaultConfig(pages)
 		wcfg.Core.KernelServer = true

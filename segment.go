@@ -43,6 +43,24 @@ func (w *World) CreateSegment(name string, n int, ownerHost int) (*Segment, erro
 	return w.CreateSegmentOwners(name, owners)
 }
 
+// CreateSegmentOnTrunk allocates a segment whose pages' consistent
+// copies start on the first host of the given trunk. On a multi-trunk
+// world the owner's trunk is the segment's home: the owner answers every
+// demand request, so its trunk sees requests once while the others pay
+// the bridge's store-and-forward delay both ways — server placement is a
+// topology decision, exactly like placing the busiest file server on the
+// backbone.
+func (w *World) CreateSegmentOnTrunk(name string, n, trunk int) (*Segment, error) {
+	if trunk < 0 || trunk >= w.Trunks() {
+		return nil, fmt.Errorf("mether: trunk %d out of range (world has %d)", trunk, w.Trunks())
+	}
+	owner := w.FirstHostOnTrunk(trunk)
+	if owner < 0 {
+		return nil, fmt.Errorf("mether: trunk %d has no hosts", trunk)
+	}
+	return w.CreateSegment(name, n, owner)
+}
+
 // CreateSegmentOwners allocates a segment with one page per entry of
 // owners, each page's consistent copy starting on the named host. This
 // is how the pipe library lays out its two one-way link pages, one owned

@@ -74,10 +74,25 @@ type Config struct {
 	Seed int64
 	// HostParams is the workstation cost model (default host.DefaultParams).
 	HostParams host.Params
-	// NetParams is the Ethernet model (default ethernet.DefaultParams).
+	// NetParams is the Ethernet model (default ethernet.DefaultParams);
+	// with Trunks > 1 it parameterizes every trunk.
 	NetParams ethernet.Params
 	// Core is the driver/server cost model (default core.DefaultConfig).
 	Core core.Config
+	// Trunks is the number of Ethernet trunks (default 1, the classic
+	// single broadcast bus). With more than one, hosts are partitioned
+	// across trunks joined by store-and-forward bridges per Topology —
+	// the paper's real multi-trunk network, where broadcasts reach other
+	// trunks late and cross-trunk purge ordering is not globally
+	// consistent.
+	Trunks int
+	// TrunkOf places host i on a trunk (must return 0..Trunks-1). Nil
+	// uses the default contiguous block partition: host i sits on trunk
+	// i*Trunks/Hosts, like machines sharing the wing of a building.
+	TrunkOf func(host int) int
+	// Topology parameterizes the bridges (shape, store-and-forward
+	// delay, backlogs, per-port loss); ignored when Trunks <= 1.
+	Topology ethernet.TopologyConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +112,12 @@ func (c Config) withDefaults() Config {
 		c.Core = core.DefaultConfig(c.Pages)
 	}
 	c.Core.NumPages = c.Pages
+	if c.Trunks == 0 {
+		c.Trunks = 1
+	}
+	if c.Trunks < 1 || c.Trunks > c.Hosts {
+		panic(fmt.Sprintf("mether: %d trunks for %d hosts", c.Trunks, c.Hosts))
+	}
 	return c
 }
 
@@ -104,7 +125,9 @@ func (c Config) withDefaults() Config {
 type World struct {
 	cfg      Config
 	k        *sim.Kernel
-	bus      *ethernet.Bus
+	bus      *ethernet.Bus      // trunk 0 (the only trunk when topo is nil)
+	topo     *ethernet.Topology // nil for the classic single-bus world
+	trunkOf  []int              // host index -> trunk (nil for single trunk)
 	hosts    []*host.Host
 	drivers  []*core.Driver
 	segs     map[string]*Segment
@@ -125,12 +148,37 @@ func NewWorld(cfg Config) *World {
 	// host count, and pre-sizing keeps steady-state dispatch free of
 	// ring-doubling copies.
 	w.k.ReserveRunq(8 * cfg.Hosts)
-	w.bus = ethernet.NewBus(w.k, cfg.NetParams)
+	coreCfg := cfg.Core
+	if cfg.Trunks > 1 {
+		w.topo = ethernet.NewTopology(w.k, cfg.Trunks, cfg.NetParams, cfg.Topology)
+		w.trunkOf = make([]int, cfg.Hosts)
+		for i := range w.trunkOf {
+			t := i * cfg.Trunks / cfg.Hosts
+			if cfg.TrunkOf != nil {
+				t = cfg.TrunkOf(i)
+			}
+			if t < 0 || t >= cfg.Trunks {
+				panic(fmt.Sprintf("mether: TrunkOf(%d) = %d outside 0..%d", i, t, cfg.Trunks-1))
+			}
+			w.trunkOf[i] = t
+		}
+		w.bus = w.topo.Bus(0)
+		// The drivers learn the trunk map so cross-trunk protocol hazards
+		// (stale refreshes arriving after newer ones reordered by bridge
+		// queues) are counted, not just possible.
+		coreCfg.TrunkOf = w.trunkOf
+	} else {
+		w.bus = ethernet.NewBus(w.k, cfg.NetParams)
+	}
 	for i := 0; i < cfg.Hosts; i++ {
 		h := host.New(w.k, i, fmt.Sprintf("host%d", i), cfg.HostParams)
 		var d *core.Driver
-		nic := w.bus.Attach(h.Name(), func() { d.FrameArrived() })
-		d = core.New(h, nic, cfg.Core)
+		bus := w.bus
+		if w.topo != nil {
+			bus = w.topo.Bus(w.trunkOf[i])
+		}
+		nic := bus.Attach(h.Name(), func() { d.FrameArrived() })
+		d = core.New(h, nic, coreCfg)
 		d.StartServer()
 		w.hosts = append(w.hosts, h)
 		w.drivers = append(w.drivers, d)
@@ -140,6 +188,45 @@ func NewWorld(cfg Config) *World {
 
 // NumHosts returns the cluster size.
 func (w *World) NumHosts() int { return len(w.hosts) }
+
+// Trunks returns the number of Ethernet trunks (1 for the classic
+// single-bus world).
+func (w *World) Trunks() int {
+	if w.topo == nil {
+		return 1
+	}
+	return w.topo.Trunks()
+}
+
+// TrunkOf returns the trunk host hostIdx is attached to.
+func (w *World) TrunkOf(hostIdx int) int {
+	if w.trunkOf == nil {
+		return 0
+	}
+	return w.trunkOf[hostIdx]
+}
+
+// FirstHostOnTrunk returns the lowest-numbered host attached to the
+// given trunk, or -1 if the trunk is empty. Workloads use it for
+// trunk-aware placement: putting a segment owner on a chosen trunk
+// decides which trunk serves that segment's demand requests.
+func (w *World) FirstHostOnTrunk(trunk int) int {
+	for i := range w.hosts {
+		if w.TrunkOf(i) == trunk {
+			return i
+		}
+	}
+	return -1
+}
+
+// BridgeStats returns the aggregated store-and-forward counters of the
+// topology's bridges (zero for a single-trunk world).
+func (w *World) BridgeStats() ethernet.BridgeStats {
+	if w.topo == nil {
+		return ethernet.BridgeStats{}
+	}
+	return w.topo.BridgeStats()
+}
 
 // Now returns the current virtual time.
 func (w *World) Now() time.Duration { return w.k.Now() }
@@ -176,8 +263,15 @@ func (w *World) Driver(hostIdx int) *core.Driver { return w.drivers[hostIdx] }
 // HostMachine exposes a host's scheduler (advanced use).
 func (w *World) HostMachine(hostIdx int) *host.Host { return w.hosts[hostIdx] }
 
-// NetStats returns the Ethernet segment counters.
-func (w *World) NetStats() ethernet.Stats { return w.bus.Stats() }
+// NetStats returns the Ethernet counters, summed over every trunk. A
+// frame forwarded across bridges is counted on each trunk it crosses:
+// cross-trunk broadcasts genuinely occupy every wire they transit.
+func (w *World) NetStats() ethernet.Stats {
+	if w.topo != nil {
+		return w.topo.Stats()
+	}
+	return w.bus.Stats()
+}
 
 // EventsDispatched returns the number of simulation-kernel events
 // executed so far — a deterministic measure of engine work, used by
@@ -193,5 +287,7 @@ func (w *World) CheckInvariants() error { return core.CheckInvariants(w.drivers.
 
 // AttachTap adds a passive protocol analyzer to the cluster's Ethernet
 // and returns its log (the simulation's tcpdump). max bounds retained
-// entries; 0 keeps everything. Attach taps before running.
+// entries; 0 keeps everything. Attach taps before running. On a
+// multi-trunk world the tap listens on trunk 0 (the backbone), like a
+// real analyzer plugged into one segment.
 func (w *World) AttachTap(max int) *trace.Log { return trace.Tap(w.k, w.bus, max) }
