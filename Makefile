@@ -24,19 +24,25 @@
 #   make bench-record  - regenerate BENCH_sweep.json, the engine-throughput
 #                        trajectory record (worlds/sec, events/sec, allocs/event)
 #   make bench-check   - the nightly bench-drift gate: regenerate the cluster
-#                        record into a temp file and fail if events/sec
-#                        regressed >15% or allocs/event grew >10% against the
-#                        committed BENCH_sweep.json. The events/sec floor is
-#                        real-time: the committed record must come from the
-#                        same machine class that runs the gate (regenerate it
-#                        there when the classes diverge; allocs/event is
-#                        machine-independent)
+#                        record into $(BENCH_NIGHTLY) (kept on disk so the
+#                        nightly workflow can upload it as an artifact) and
+#                        fail if events/sec regressed >15% or allocs/event
+#                        grew >10% against the committed BENCH_sweep.json.
+#                        The events/sec floor is real-time: the committed
+#                        record must come from the same machine class that
+#                        runs the gate (regenerate it there when the classes
+#                        diverge; allocs/event is machine-independent)
+#   make profile       - run one named cell (CELL=<name substring>, any cell
+#                        of GRID, default the bridged 256-host hotspot) under CPU and
+#                        heap profiling, then print `go tool pprof -top` for
+#                        both profiles (cpu.pprof / mem.pprof are left on
+#                        disk for interactive pprof sessions)
 
 GO ?= go
 
 MICROBENCH = BenchmarkKernelDispatch|BenchmarkKernelDispatchImmediate|BenchmarkKernelDispatchDeep|BenchmarkKernelScheduleCancel|BenchmarkHostSleepWake|BenchmarkHostQuantumRotation|BenchmarkBusBroadcast|BenchmarkCounterRun
 
-.PHONY: ci ci-stage fmt-check vet test race smoke cluster-smoke cluster-large sweep cluster bench bench-smoke bench-record bench-check
+.PHONY: ci ci-stage fmt-check vet test race smoke cluster-smoke cluster-large sweep cluster bench bench-smoke bench-record bench-check profile
 
 # Each CI stage runs through ci-stage so the log carries exactly one
 # machine-readable verdict line per stage, pass or fail.
@@ -95,8 +101,28 @@ bench-smoke:
 bench-record:
 	$(GO) run ./cmd/methersweep -grid cluster -bench-out BENCH_sweep.json -format summary
 
+# The regenerated record is kept (not a temp file) so the nightly
+# workflow can attach it as a build artifact: when the gate trips, the
+# numbers that tripped it are one download away, and when it passes the
+# trajectory point is preserved without committing it.
+BENCH_NIGHTLY ?= bench-nightly.json
+
 bench-check:
-	@tmp="$$(mktemp)"; \
-	$(GO) run ./cmd/methersweep -grid cluster -bench-out "$$tmp" \
-		-bench-baseline BENCH_sweep.json -format summary; \
-	rc=$$?; rm -f "$$tmp"; exit $$rc
+	$(GO) run ./cmd/methersweep -grid cluster -bench-out $(BENCH_NIGHTLY) \
+		-bench-baseline BENCH_sweep.json -format summary
+
+# Profile one cell: make profile CELL=cluster/barrier/h16 narrows GRID
+# to the scenarios whose name CONTAINS CELL (methersweep -only, a
+# substring — a prefix like cluster/hotspot/h256 profiles that cell
+# plus its kernel/loss/topology variants as one blended run) and runs
+# the selection under -cpuprofile/-memprofile. The default names the
+# bridged 256-host hotspot exactly, so bare `make profile` captures a
+# single cell.
+GRID ?= cluster
+CELL ?= cluster/hotspot/h256/t2-star
+
+profile:
+	$(GO) run ./cmd/methersweep -grid $(GRID) -only '$(CELL)' \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -format summary
+	$(GO) tool pprof -top -nodecount 25 cpu.pprof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space mem.pprof

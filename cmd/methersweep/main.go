@@ -42,6 +42,7 @@ var (
 	flagTarget    = flag.Uint("target", 1024, "counter target for protocol scenarios")
 	flagSeed      = flag.Int64("seed", 1, "simulation seed for every scenario")
 	flagHosts     = flag.Int("hosts", 0, "restrict host-count grids (cluster) to one size (0 = all)")
+	flagOnly      = flag.String("only", "", "run only the scenarios whose name contains this substring (profiling a single cell)")
 	flagTrunks    = flag.Int("trunks", 0, "restrict the cluster grid's topology axis: 0 = full grid, 1 = classic single-trunk cells only (baseline comparisons), N>1 = every base cell on N bridged trunks")
 	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
 	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
@@ -122,6 +123,21 @@ func main() {
 	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks})
 	if err != nil {
 		fatal(err)
+	}
+	// -only narrows the grid before the sweep runs, so profiles capture a
+	// single named cell instead of the whole grid (the DNF gate below
+	// indexes scs, which must therefore stay aligned with the report).
+	if *flagOnly != "" {
+		kept := scs[:0]
+		for _, s := range scs {
+			if strings.Contains(s.Name, *flagOnly) {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			fatal(fmt.Errorf("-only %q matches no scenario in grid %q", *flagOnly, *flagGrid))
+		}
+		scs = kept
 	}
 	workers := *flagWorkers
 	if *flagSerial {

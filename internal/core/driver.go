@@ -60,6 +60,11 @@ type Config struct {
 	// the hosts and the bridges" hazard — and the trunk map lets
 	// Metrics.CrossTrunkStale count exactly those arrivals.
 	TrunkOf []int
+	// Views is the world's decode-once view pool (see view.go): drivers
+	// sharing a pool parse each broadcast once per delivery instead of
+	// once per receiver. Nil disables caching (drivers decode directly,
+	// the pre-cache behaviour); world builders wire one pool per world.
+	Views *ViewPool
 }
 
 // DefaultConfig returns the calibrated Sun-3/50-class server cost model.

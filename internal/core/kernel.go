@@ -43,13 +43,17 @@ var (
 // kernelKick schedules a drain step if one is not already pending. Work
 // items are processed one per step; each step is delayed by the previous
 // item's accumulated handler cost, serializing the kernel path the way
-// interrupt-level processing serializes on a uniprocessor.
+// interrupt-level processing serializes on a uniprocessor. Kicks are
+// coalesced like NIC interrupts: a broadcast delivery kicking every
+// kernel-server host schedules one kernel event, not one per host (the
+// drain steps themselves stay individually scheduled, as their delays
+// depend on per-host handler cost).
 func (d *Driver) kernelKick(after time.Duration) {
 	if d.kDraining {
 		return
 	}
 	d.kDraining = true
-	d.h.Kernel().After(after, "mether kernel drain", d.stepFn)
+	d.h.Kernel().AfterCoalesced(after, "mether kernel drain", d.stepFn)
 }
 
 // kernelStep processes one pending item and reschedules itself.

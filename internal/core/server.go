@@ -234,9 +234,12 @@ func (d *Driver) transmit(p cpuSink, pkt proto.Packet) {
 	d.nic.Send(ethernet.Broadcast, buf)
 }
 
-// handleFrame processes one received datagram.
+// handleFrame processes one received datagram. The parse goes through
+// the decode-once view cache (view.go): for a broadcast, only the first
+// of the N receiving servers actually parses the header, but every
+// receiver still pays its own simulated handling cost.
 func (d *Driver) handleFrame(p cpuSink, f ethernet.Frame) {
-	pkt, err := proto.Decode(f.Payload)
+	pkt, err := d.decodeFrame(f)
 	if err != nil {
 		// Corrupt datagram: charge minimal handling and drop.
 		p.UseSys(d.cfg.PacketCost)

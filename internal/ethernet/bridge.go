@@ -143,7 +143,11 @@ func (br *Bridge) acquireFwd() *bridgeFwd {
 // run completes one store-and-forward: re-transmit on the far segment,
 // release the source buffer, recycle the record. Send copies the payload
 // into the destination segment's pool, so the source buffer can be
-// recycled immediately afterwards.
+// recycled immediately afterwards — and because forwarding re-enters
+// Send with the original destination, the far segment applies the same
+// split dispatch as a local transmission: indexed O(1) lookup for a
+// unicast Dst, fan-out only for Broadcast. A bridge port adds no
+// delivery cost of its own beyond the store-and-forward delay.
 func (fw *bridgeFwd) run() {
 	br := fw.br
 	br.stats.Queued--

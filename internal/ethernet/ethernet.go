@@ -70,10 +70,17 @@ func DefaultParams() Params {
 
 // frameBuf is a pooled payload buffer shared by every receiver of one
 // transmission. refs counts ring slots (and in-flight deliveries) still
-// holding the buffer; it returns to the freelist at zero.
+// holding the buffer; it returns to the freelist at zero. view is the
+// decode-once cache: the first receiver to parse the payload attaches
+// its decoded form here and every later receiver of the same
+// transmission reuses it, so a broadcast is parsed once instead of once
+// per station. The view shares the buffer's lifetime exactly — it is
+// handed to the bus's view recycler (and detached) at the same instant
+// the buffer's refcount reaches zero.
 type frameBuf struct {
 	data []byte // full-capacity backing array
 	refs int
+	view any
 }
 
 // Frame is one datagram on the segment. Payload is valid until the
@@ -95,10 +102,13 @@ type Stats struct {
 	PayloadBytes uint64 // payload bytes only
 	WireLost     uint64 // frames corrupted on the wire (LossRate)
 	RingDrops    uint64 // per-receiver drops due to full rings
+	TxSuppressed uint64 // sends swallowed because the transmitting NIC was down
 	BusyTime     time.Duration
 }
 
-// Bus is one shared segment. Attach NICs before sending.
+// Bus is one shared segment. Attach NICs before sending. NIC ids are
+// dense indexes into the attach order, so the id→NIC lookup that makes
+// unicast delivery O(1) is the nics slice itself.
 type Bus struct {
 	k         *sim.Kernel
 	p         Params
@@ -107,16 +117,24 @@ type Bus struct {
 	stats     Stats
 	free      []*frameBuf // payload buffer pool
 	freeDeliv []*delivery // delivery-event pool
+	// viewDrop, when set, receives each payload buffer's decode-once
+	// view as the buffer is recycled, so the layer that attached the
+	// view (which this package knows nothing about) can pool it.
+	viewDrop func(any)
 }
 
-// delivery is a pooled in-flight transmission: the frame plus a
-// pre-built event closure, so Send schedules delivery without
-// allocating.
+// delivery is a pooled in-flight transmission: the frame plus two
+// pre-built event closures — one per delivery shape — so Send schedules
+// either path without allocating. Unicast resolves its single receiver
+// by indexed lookup; only broadcast still walks the stations.
 type delivery struct {
 	b    *Bus
 	f    Frame
 	lost bool
-	fn   func()
+	// fnU completes a unicast (single indexed receiver); fnB completes a
+	// broadcast (fan-out over every attached NIC).
+	fnU func()
+	fnB func()
 }
 
 // NewBus creates a segment driven by kernel k.
@@ -130,12 +148,13 @@ func NewBus(k *sim.Kernel, p Params) *Bus {
 // Params returns the segment's configuration.
 func (b *Bus) Params() Params { return b.p }
 
-// Stats returns a snapshot of the segment counters. Ring drops are summed
-// over all NICs.
+// Stats returns a snapshot of the segment counters. Ring drops and
+// suppressed transmissions are summed over all NICs.
 func (b *Bus) Stats() Stats {
 	s := b.stats
 	for _, n := range b.nics {
 		s.RingDrops += n.drops
+		s.TxSuppressed += n.txSuppressed
 	}
 	return s
 }
@@ -164,16 +183,30 @@ func (b *Bus) acquire(n int) *frameBuf {
 	return &frameBuf{data: make([]byte, n)}
 }
 
-// releaseBuf drops one reference, recycling the buffer at zero.
+// releaseBuf drops one reference, recycling the buffer at zero. The
+// buffer's decode-once view is detached (and handed to the view
+// recycler) at the same instant: the view aliases the payload bytes, so
+// it must not outlive the buffer's current contents.
 func (b *Bus) releaseBuf(fb *frameBuf) {
 	if fb == nil || fb.refs <= 0 {
 		return
 	}
 	fb.refs--
 	if fb.refs == 0 {
+		if fb.view != nil {
+			if b.viewDrop != nil {
+				b.viewDrop(fb.view)
+			}
+			fb.view = nil
+		}
 		b.free = append(b.free, fb)
 	}
 }
+
+// OnViewDrop registers the recycler invoked with a buffer's decode-once
+// view when the buffer returns to the pool. Typically wired by the world
+// builder to the protocol layer's view pool.
+func (b *Bus) OnViewDrop(fn func(any)) { b.viewDrop = fn }
 
 // Attach adds a NIC to the segment. intr is invoked in kernel event
 // context whenever a frame is queued into the NIC's receive ring; it is
@@ -199,7 +232,13 @@ type NIC struct {
 	count int
 	intr  func()
 	drops uint64
-	down  bool
+	// txSuppressed counts Send calls swallowed because the station was
+	// down. Before the counter existed these vanished without a trace,
+	// which made down-NIC scenarios undebuggable: the sender's protocol
+	// counters said a request went out, the wire counters said nothing
+	// did, and no counter explained the difference.
+	txSuppressed uint64
+	down         bool
 }
 
 // SetDown takes the station off the wire (or back on): while down it
@@ -220,6 +259,10 @@ func (n *NIC) Name() string { return n.name }
 // Drops returns the number of frames dropped because this NIC's receive
 // ring was full.
 func (n *NIC) Drops() uint64 { return n.drops }
+
+// TxSuppressed returns the number of Send calls swallowed because this
+// NIC was down at the time.
+func (n *NIC) TxSuppressed() uint64 { return n.txSuppressed }
 
 // Pending returns the number of frames waiting in the receive ring.
 func (n *NIC) Pending() int { return n.count }
@@ -248,6 +291,29 @@ func (n *NIC) Release(f Frame) {
 	n.bus.releaseBuf(f.buf)
 }
 
+// View returns the decode-once view attached to this frame's shared
+// payload buffer, or nil when no receiver has decoded it yet (or the
+// frame does not come from a pooled buffer). All receivers of one
+// transmission see the same view.
+func (f Frame) View() any {
+	if f.buf == nil {
+		return nil
+	}
+	return f.buf.view
+}
+
+// SetView attaches a decoded view to the frame's shared payload buffer
+// for later receivers of the same transmission to reuse. The view must
+// be derived from (and may alias) the payload bytes: it lives exactly as
+// long as the buffer's current contents and is handed to the bus's
+// OnViewDrop recycler when the buffer is recycled. A no-op for frames
+// without a pooled buffer.
+func (f Frame) SetView(v any) {
+	if f.buf != nil {
+		f.buf.view = v
+	}
+}
+
 // wireBytes returns the on-wire size of a payload.
 func (b *Bus) wireBytes(payload int) int {
 	w := payload + b.p.FrameOverhead
@@ -267,9 +333,11 @@ func (b *Bus) txTime(wire int) time.Duration {
 // Send transmits payload from this NIC to dst (a NIC id or Broadcast).
 // The call returns immediately; delivery happens after the medium frees
 // up, serialization and propagation. The payload is copied into a pooled
-// buffer shared by all receivers.
+// buffer shared by all receivers. A send from a down station is
+// suppressed (nothing reaches the wire) and counted in TxSuppressed.
 func (n *NIC) Send(dst int, payload []byte) {
 	if n.down {
+		n.txSuppressed++
 		return
 	}
 	b := n.bus
@@ -298,10 +366,14 @@ func (n *NIC) Send(dst int, payload []byte) {
 	d := b.acquireDeliv()
 	d.f = f
 	d.lost = b.p.LossRate > 0 && b.k.Rand().Float64() < b.p.LossRate
-	b.k.At(start+dur+b.p.PropDelay, "eth deliver", d.fn)
+	fn := d.fnU
+	if dst == Broadcast {
+		fn = d.fnB
+	}
+	b.k.At(start+dur+b.p.PropDelay, "eth deliver", fn)
 }
 
-// acquireDeliv takes a delivery record (with its prebuilt closure) from
+// acquireDeliv takes a delivery record (with its prebuilt closures) from
 // the pool.
 func (b *Bus) acquireDeliv() *delivery {
 	if l := len(b.freeDeliv); l > 0 {
@@ -311,27 +383,45 @@ func (b *Bus) acquireDeliv() *delivery {
 		return d
 	}
 	d := &delivery{b: b}
-	d.fn = func() { d.run() }
+	d.fnU = func() { d.runUnicast() }
+	d.fnB = func() { d.runBroadcast() }
 	return d
 }
 
-// run completes one transmission: fan the frame out (or lose it), then
-// recycle the buffer if nobody kept it and the delivery record itself.
-func (d *delivery) run() {
+// runUnicast completes a unicast transmission: one indexed receiver
+// lookup, independent of how many stations share the segment. A frame
+// addressed to an unattached id or to the sender itself reaches no one,
+// exactly as the former all-stations scan decided.
+func (d *delivery) runUnicast() {
+	b := d.b
+	if d.lost {
+		b.stats.WireLost++
+	} else if dst := d.f.Dst; dst >= 0 && dst < len(b.nics) && dst != d.f.Src {
+		b.nics[dst].deliver(d.f)
+	}
+	d.finish()
+}
+
+// runBroadcast completes a broadcast transmission: fan the frame out to
+// every attached station except the sender, in attach order.
+func (d *delivery) runBroadcast() {
 	b := d.b
 	if d.lost {
 		b.stats.WireLost++
 	} else {
 		for _, rx := range b.nics {
-			if rx.id == d.f.Src {
-				continue
+			if rx.id != d.f.Src {
+				rx.deliver(d.f)
 			}
-			if d.f.Dst != Broadcast && d.f.Dst != rx.id {
-				continue
-			}
-			rx.deliver(d.f)
 		}
 	}
+	d.finish()
+}
+
+// finish recycles the buffer if nobody kept it and the delivery record
+// itself.
+func (d *delivery) finish() {
+	b := d.b
 	b.releaseBuf(d.f.buf) // drop the in-flight reference
 	d.f = Frame{}
 	d.lost = false

@@ -284,3 +284,98 @@ func TestDownNICCannotTransmit(t *testing.T) {
 		t.Error("down NIC's frame hit the wire stats")
 	}
 }
+
+// TestDownNICCountsSuppressedSends: a swallowed send must leave a
+// counter trail — per NIC and in the segment stats — instead of
+// vanishing, and recovery must stop the counting.
+func TestDownNICCountsSuppressedSends(t *testing.T) {
+	k, b := newTestBus(t, DefaultParams())
+	tx := b.Attach("tx", nil)
+	other := b.Attach("other", nil)
+	tx.SetDown(true)
+	tx.Send(Broadcast, []byte("one"))
+	tx.Send(other.ID(), []byte("two"))
+	if got := tx.TxSuppressed(); got != 2 {
+		t.Errorf("NIC TxSuppressed = %d, want 2", got)
+	}
+	if got := b.Stats().TxSuppressed; got != 2 {
+		t.Errorf("Stats().TxSuppressed = %d, want 2", got)
+	}
+	if got := other.TxSuppressed(); got != 0 {
+		t.Errorf("bystander TxSuppressed = %d, want 0", got)
+	}
+	tx.SetDown(false)
+	tx.Send(Broadcast, []byte("three"))
+	k.Run()
+	if got := b.Stats().TxSuppressed; got != 2 {
+		t.Errorf("after recovery Stats().TxSuppressed = %d, want 2", got)
+	}
+	if f, ok := other.Recv(); !ok || string(f.Payload) != "three" {
+		t.Errorf("recovered send got %q, ok=%v", f.Payload, ok)
+	}
+}
+
+// TestUnicastEdgeAddresses: frames to the sender itself or to an
+// unattached id reach no one — the indexed lookup must decide these
+// exactly as the former all-stations scan did, without panicking.
+func TestUnicastEdgeAddresses(t *testing.T) {
+	k, b := newTestBus(t, DefaultParams())
+	n0 := b.Attach("a", nil)
+	n1 := b.Attach("b", nil)
+	n0.Send(n0.ID(), []byte("self"))
+	n0.Send(99, []byte("nobody"))
+	n0.Send(-7, []byte("negative"))
+	k.Run()
+	if n0.Pending() != 0 || n1.Pending() != 0 {
+		t.Errorf("edge-addressed unicasts delivered: pending %d/%d, want 0/0",
+			n0.Pending(), n1.Pending())
+	}
+	if got := b.Stats().Frames; got != 3 {
+		t.Errorf("frames transmitted = %d, want 3 (they occupy the wire regardless)", got)
+	}
+}
+
+// TestViewSharedAndRecycled: a view attached by one receiver is visible
+// to the other receivers of the same transmission, handed to the
+// OnViewDrop recycler exactly once when the buffer recycles, and never
+// leaks into the buffer's next transmission.
+func TestViewSharedAndRecycled(t *testing.T) {
+	k, b := newTestBus(t, DefaultParams())
+	var dropped []any
+	b.OnViewDrop(func(v any) { dropped = append(dropped, v) })
+	tx := b.Attach("tx", nil)
+	r1 := b.Attach("r1", nil)
+	r2 := b.Attach("r2", nil)
+	tx.Send(Broadcast, []byte("payload"))
+	k.Run()
+
+	f1, _ := r1.Recv()
+	f2, _ := r2.Recv()
+	if f1.View() != nil {
+		t.Fatal("fresh frame already has a view")
+	}
+	view := "decoded"
+	f1.SetView(&view)
+	if got := f2.View(); got != &view {
+		t.Fatalf("second receiver sees view %v, want the one attached by the first", got)
+	}
+	r1.Release(f1)
+	if len(dropped) != 0 {
+		t.Fatal("view dropped while a receiver still held the buffer")
+	}
+	r2.Release(f2)
+	if len(dropped) != 1 || dropped[0] != &view {
+		t.Fatalf("dropped = %v, want exactly the attached view", dropped)
+	}
+
+	// The recycled buffer's next transmission starts view-free.
+	tx.Send(Broadcast, []byte("next"))
+	k.Run()
+	g1, _ := r1.Recv()
+	if g1.View() != nil {
+		t.Error("recycled buffer leaked the previous transmission's view")
+	}
+	if len(dropped) != 1 {
+		t.Errorf("recycler ran %d times, want 1", len(dropped))
+	}
+}

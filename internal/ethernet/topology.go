@@ -142,6 +142,7 @@ func (t *Topology) Stats() Stats {
 		s.PayloadBytes += bs.PayloadBytes
 		s.WireLost += bs.WireLost
 		s.RingDrops += bs.RingDrops
+		s.TxSuppressed += bs.TxSuppressed
 		s.BusyTime += bs.BusyTime
 	}
 	return s

@@ -153,6 +153,25 @@ func TestBridgeOccupancyTracksStoreAndForwardQueue(t *testing.T) {
 	k.Shutdown()
 }
 
+// TestTopologyStatsSumTxSuppressed: a down NIC's swallowed sends must
+// survive the topology-level aggregation, not just the per-bus stats —
+// down-NIC debugging on a bridged world reads World.NetStats.
+func TestTopologyStatsSumTxSuppressed(t *testing.T) {
+	k := sim.New(1)
+	topo := NewTopology(k, 2, DefaultParams(), TopologyConfig{})
+	n := topo.Bus(1).Attach("station", nil)
+	n.SetDown(true)
+	n.Send(Broadcast, []byte("swallowed"))
+	k.Run()
+	if got := topo.Bus(1).Stats().TxSuppressed; got != 1 {
+		t.Errorf("trunk Stats().TxSuppressed = %d, want 1", got)
+	}
+	if got := topo.Stats().TxSuppressed; got != 1 {
+		t.Errorf("Topology.Stats().TxSuppressed = %d, want 1", got)
+	}
+	k.Shutdown()
+}
+
 func TestShapeByName(t *testing.T) {
 	for _, tc := range []struct {
 		name string

@@ -510,9 +510,14 @@ func (h *Host) armWakeBoost(woken *Proc) {
 }
 
 // Interrupt models a hardware interrupt: after the configured interrupt
-// cost, fn runs in kernel event context (typically a Wakeup).
+// cost, fn runs in kernel event context (typically a Wakeup). Interrupts
+// raised back-to-back by one cause — a broadcast delivery raising the
+// same fixed-latency interrupt on every receiving host — are coalesced
+// into a single kernel event (sim.Kernel.AfterCoalesced), which merges
+// only when dispatch order is provably unaffected; interrupt handlers
+// cannot be cancelled, so nothing is lost by not getting an Event back.
 func (h *Host) Interrupt(fn func()) {
-	h.k.After(h.pr.InterruptCost, h.intrName, fn)
+	h.k.AfterCoalesced(h.pr.InterruptCost, h.intrName, fn)
 }
 
 // Sleeping reports how many processes are blocked on key.

@@ -410,7 +410,9 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 	r.NetBytes = ns.WireBytes
 	r.Packets = ns.Frames
 	r.RingDrops = ns.RingDrops
+	r.TxSuppressed = ns.TxSuppressed
 	r.Events = w.EventsDispatched()
+	r.TrunkUtil, r.TrunkFrames = w.TrunkUtilization(r.Wall)
 	if r.Wall > 0 {
 		r.NetBytesPerSec = stats.BytesPerSec(r.NetBytes, r.Wall)
 	}

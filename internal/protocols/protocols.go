@@ -177,6 +177,11 @@ type Report struct {
 	Retries       uint64
 	DataFallbacks uint64
 	RingDrops     uint64
+	// TxSuppressed counts sends swallowed because the transmitting NIC
+	// was down. Down-NIC scenarios used to lose these without a trace —
+	// the driver's send counters advanced while the wire counters did
+	// not, with nothing explaining the gap.
+	TxSuppressed uint64
 	// Topology extras, zero by construction on a single trunk: the
 	// bridges' forwarded/occupancy/loss counters and CrossTrunkStale —
 	// broadcasts whose bridge-queue reordering delivered them after a
@@ -189,6 +194,11 @@ type Report struct {
 	// or not (single-trunk host-queue races produce them too);
 	// CrossTrunkStale is its cross-trunk subset.
 	StaleDrops uint64
+	// TrunkUtil and TrunkFrames are each trunk's own wire utilization
+	// and frame count in trunk order (nil on a single trunk): the summed
+	// NetBytes cannot show which trunk saturates.
+	TrunkUtil   []float64
+	TrunkFrames []uint64
 	// Events is the number of simulation-kernel events dispatched for the
 	// run — the engine-throughput denominator (deterministic: a pure
 	// function of config and seed).

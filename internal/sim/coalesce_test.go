@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestAfterCoalescedMergesAdjacent: back-to-back same-deadline calls with
+// nothing scheduled in between share one kernel event, run in call order,
+// and are counted as individual dispatches.
+func TestAfterCoalescedMergesAdjacent(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.After(0, "setup", func() {
+		for i := 0; i < 3; i++ {
+			i := i
+			k.AfterCoalesced(time.Millisecond, "intr", func() { order = append(order, i) })
+		}
+		if got := k.PendingEvents(); got != 1 {
+			t.Errorf("3 adjacent coalesced callbacks occupy %d events, want 1", got)
+		}
+	})
+	k.Run()
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("coalesced callbacks ran as %v, want %v", order, want)
+	}
+	// setup + 3 logical events: Dispatched must match an uncoalesced run.
+	if got := k.Dispatched(); got != 4 {
+		t.Errorf("Dispatched() = %d, want 4 (each batched callback counts)", got)
+	}
+}
+
+// TestAfterCoalescedNoMergeAcrossSchedule: an ordinary event scheduled
+// between two coalesced calls breaks adjacency — the kernel cannot prove
+// the merge invisible, so the second call gets its own event and overall
+// dispatch order is the plain (time, seq) order.
+func TestAfterCoalescedNoMergeAcrossSchedule(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.After(0, "setup", func() {
+		k.AfterCoalesced(time.Millisecond, "intr", func() { order = append(order, "c0") })
+		k.After(time.Millisecond, "plain", func() { order = append(order, "p") })
+		k.AfterCoalesced(time.Millisecond, "intr", func() { order = append(order, "c1") })
+		if got := k.PendingEvents(); got != 3 {
+			t.Errorf("interleaved schedule left %d events, want 3 (no merge)", got)
+		}
+	})
+	k.Run()
+	if want := []string{"c0", "p", "c1"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+// TestAfterCoalescedNoMergeAcrossDeadline: same adjacency, different
+// deadline — never merged.
+func TestAfterCoalescedNoMergeAcrossDeadline(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.After(0, "setup", func() {
+		k.AfterCoalesced(2*time.Millisecond, "intr", func() { order = append(order, "late") })
+		k.AfterCoalesced(time.Millisecond, "intr", func() { order = append(order, "early") })
+	})
+	k.Run()
+	if want := []string{"early", "late"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+// TestAfterCoalescedBatchClosesOnFire: a batch that has fired must not
+// accept appends, even when the next coalesced call has the same
+// deadline and no schedule happened in between (callbacks that schedule
+// nothing leave the sequence counter untouched — exactly the trap).
+func TestAfterCoalescedBatchClosesOnFire(t *testing.T) {
+	k := New(1)
+	var ran []string
+	k.After(0, "setup", func() {
+		k.AfterCoalesced(0, "intr", func() { ran = append(ran, "first") })
+	})
+	k.After(time.Millisecond, "later", func() {
+		// The first batch fired a millisecond ago; this must run, not be
+		// appended to a recycled batch.
+		k.AfterCoalesced(0, "intr", func() { ran = append(ran, "second") })
+	})
+	k.Run()
+	if want := []string{"first", "second"}; !reflect.DeepEqual(ran, want) {
+		t.Fatalf("ran %v, want %v", ran, want)
+	}
+}
+
+// TestAfterCoalescedStopSuppressesRest: a batched callback that stops
+// the kernel suppresses the remaining callbacks of its batch, exactly
+// as uncoalesced events queued behind a Stop never run — and the
+// suppressed callbacks are not counted as dispatched.
+func TestAfterCoalescedStopSuppressesRest(t *testing.T) {
+	k := New(1)
+	var ran []string
+	k.After(0, "setup", func() {
+		k.AfterCoalesced(time.Millisecond, "intr", func() { ran = append(ran, "a"); k.Stop() })
+		k.AfterCoalesced(time.Millisecond, "intr", func() { ran = append(ran, "b") })
+	})
+	k.Run()
+	if want := []string{"a"}; !reflect.DeepEqual(ran, want) {
+		t.Fatalf("ran %v, want %v (Stop must suppress the rest of the batch)", ran, want)
+	}
+	if got := k.Dispatched(); got != 2 {
+		t.Errorf("Dispatched() = %d, want 2 (setup + first callback only)", got)
+	}
+}
+
+// TestAfterCoalescedDifferential drives two kernels through an identical
+// random script of plain and coalescible schedules — one kernel using
+// AfterCoalesced, the reference using After for everything — and
+// requires identical execution traces (virtual time and order) plus
+// identical dispatch counts. This is the order-neutrality proof
+// obligation for the broadcast fan-out batching, at the kernel layer.
+func TestAfterCoalescedDifferential(t *testing.T) {
+	type rec struct {
+		at time.Duration
+		id int
+	}
+	run := func(coalesce bool, seed int64) ([]rec, uint64) {
+		k := New(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		var trace []rec
+		id := 0
+		// A recursive event storm: each fired event may schedule a burst
+		// of interrupts (the fan-out shape), a plain event at the same
+		// deadline (adjacency breaker), or nothing.
+		var fire func(depth int) func()
+		fire = func(depth int) func() {
+			myID := id
+			id++
+			return func() {
+				trace = append(trace, rec{k.Now(), myID})
+				if depth >= 3 {
+					return
+				}
+				n := rng.Intn(4)
+				d := time.Duration(rng.Intn(3)) * 100 * time.Microsecond
+				for i := 0; i < n; i++ {
+					if rng.Intn(4) == 0 {
+						// Adjacency breaker at the same deadline.
+						k.After(d, "plain", fire(depth+1))
+						continue
+					}
+					if coalesce {
+						k.AfterCoalesced(d, "intr", fire(depth+1))
+					} else {
+						k.After(d, "intr", fire(depth+1))
+					}
+				}
+			}
+		}
+		for i := 0; i < 8; i++ {
+			k.After(time.Duration(i)*50*time.Microsecond, "seed", fire(0))
+		}
+		k.Run()
+		return trace, k.Dispatched()
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		got, gotN := run(true, seed)
+		want, wantN := run(false, seed)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: coalesced trace diverges from reference\n got %v\nwant %v", seed, got, want)
+		}
+		if gotN != wantN {
+			t.Fatalf("seed %d: dispatch count %d, reference %d", seed, gotN, wantN)
+		}
+	}
+}

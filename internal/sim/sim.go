@@ -60,6 +60,14 @@ type Kernel struct {
 	procs      []*Proc
 	running    *Proc
 	dispatched uint64
+	// Coalescing state (see AfterCoalesced): the open batch, its absolute
+	// deadline, and the value of seq immediately after the batch's last
+	// append — if seq has moved since, another event was scheduled in
+	// between and the batch is no longer adjacent.
+	coalB     *batch
+	coalAt    time.Duration
+	coalSeq   uint64
+	freeBatch []*batch
 	// handoff is signalled by a process goroutine when it parks or exits,
 	// returning control to the kernel loop.
 	handoff chan struct{}
@@ -135,6 +143,93 @@ func (k *Kernel) At(t time.Duration, name string, fn func()) *Event {
 // After schedules fn to run d from now. Negative d is treated as zero.
 func (k *Kernel) After(d time.Duration, name string, fn func()) *Event {
 	return k.At(k.now+d, name, fn)
+}
+
+// AfterCoalesced schedules fn to run d from now, like After, but merges
+// the call into the immediately preceding AfterCoalesced event when the
+// merge is provably invisible to dispatch order: the deadlines are equal
+// and no event of any kind has been scheduled since that call (the
+// kernel's sequence counter is unchanged). Under exactly those
+// conditions fn's own event would have been assigned the very next
+// sequence number at the same timestamp, so it would have dispatched
+// immediately after the batch's previous callback with nothing able to
+// run in between — executing it from the same kernel event is
+// observably identical, and the per-event schedule/dispatch cost is
+// saved. This is the broadcast fan-out shape: one Ethernet delivery
+// raising the same fixed-latency interrupt on every receiving host
+// collapses from N kernel events into one.
+//
+// Dispatched() counts every batched callback individually, so event
+// counts (and events/sec records) remain comparable with an uncoalesced
+// execution. Batched callbacks cannot be cancelled — no Event is
+// returned — so the mechanism suits fire-and-forget wakeups like NIC
+// interrupts, not timers.
+func (k *Kernel) AfterCoalesced(d time.Duration, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	t := k.now + d
+	if b := k.coalB; b != nil && k.coalAt == t && k.coalSeq == k.seq {
+		b.fns = append(b.fns, fn)
+		return
+	}
+	b := k.allocBatch()
+	b.fns = append(b.fns, fn)
+	k.coalB = b
+	k.coalAt = t
+	k.At(t, name, b.fn)
+	k.coalSeq = k.seq
+}
+
+// batch is one coalesced event: the callbacks of several logically
+// distinct events that provably occupy one contiguous (time, seq) run.
+// The closure is built once so re-arming from the pool is
+// allocation-free, like the Event freelist.
+type batch struct {
+	k   *Kernel
+	fns []func()
+	fn  func()
+}
+
+// allocBatch takes a batch (with its prebuilt closure) from the pool.
+func (k *Kernel) allocBatch() *batch {
+	if n := len(k.freeBatch); n > 0 {
+		b := k.freeBatch[n-1]
+		k.freeBatch[n-1] = nil
+		k.freeBatch = k.freeBatch[:n-1]
+		return b
+	}
+	b := &batch{k: k}
+	b.fn = b.run
+	return b
+}
+
+// run fires the batch: close it to further appends, execute every
+// callback in append (= would-be seq) order, then recycle. The event pop
+// already counted one dispatch; each further callback counts its own, at
+// the same point relative to its execution as an uncoalesced event's.
+// Stop() is honoured between callbacks exactly where the uncoalesced
+// kernel would check it — before dispatching the next event — so a
+// callback that stops the kernel suppresses the rest of the batch (they
+// are dropped, matching the fate of events left queued at Stop: a
+// stopped kernel never runs again).
+func (b *batch) run() {
+	k := b.k
+	if k.coalB == b {
+		k.coalB = nil
+	}
+	for i, fn := range b.fns {
+		b.fns[i] = nil
+		if i > 0 {
+			if k.stopped {
+				continue
+			}
+			k.dispatched++
+		}
+		fn()
+	}
+	b.fns = b.fns[:0]
+	k.freeBatch = append(k.freeBatch, b)
 }
 
 // Stop makes Run return after the currently executing event completes.

@@ -364,6 +364,26 @@ func ClusterGrid(o Options) []Scenario {
 					Trunks: 2, OwnerTrunk: 1, Seed: o.Seed},
 			)
 		}
+		// The 1024-host topology rung (make cluster-large): the tier that
+		// used to be intractable when every frame cost an O(hosts)
+		// receiver scan and every broadcast was parsed per receiver. The
+		// knobs extend the tier's existing scaling to the ~ms bridge
+		// latencies at this fan-in: warm replicas, the widened rx ring
+		// (which also sizes the bridge ports' rings — a cross-trunk phase
+		// burst lands on the bridge at wire speed and drains at the 1 ms
+		// store-and-forward rate), the host-count-scaled retry/residency
+		// windows, and for the hotspot the far-trunk owner placement so
+		// every steal and every grant pays the bridge hop being measured.
+		if h >= 1024 {
+			out = append(out,
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t2-star", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 2, WarmStart: warm, RxRing: ring, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/t4-star", h), Kind: KindHotspot,
+					Hosts: h, Iters: hotIters, Writers: writers, MinResidency: res,
+					RetryTimeout: retry, Trunks: 4, OwnerTrunk: 1, WarmStart: warm,
+					RxRing: ring, Seed: o.Seed},
+			)
+		}
 		if h == 256 {
 			out = append(out,
 				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t4-star", h), Kind: KindStationary,

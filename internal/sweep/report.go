@@ -40,13 +40,27 @@ var csvColumns = []string{
 }
 
 // CSV renders the report as one header row plus one row per scenario.
+// When any scenario carries per-trunk measurements, trunk_util_i and
+// trunk_frames_i column pairs are appended for the widest trunk count
+// in the report (cells with fewer trunks leave the excess blank); a
+// report with no multi-trunk cells keeps the classic column set, and
+// its exact bytes, unchanged.
 func (r Report) CSV() []byte {
+	trunks := 0
+	for _, s := range r.Scenarios {
+		if len(s.TrunkUtil) > trunks {
+			trunks = len(s.TrunkUtil)
+		}
+	}
 	var buf bytes.Buffer
 	for i, c := range csvColumns {
 		if i > 0 {
 			buf.WriteByte(',')
 		}
 		buf.WriteString(c)
+	}
+	for t := 0; t < trunks; t++ {
+		fmt.Fprintf(&buf, ",trunk_util_%d,trunk_frames_%d", t, t)
 	}
 	buf.WriteByte('\n')
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -75,6 +89,16 @@ func (r Report) CSV() []byte {
 				buf.WriteByte(',')
 			}
 			buf.WriteString(c)
+		}
+		for t := 0; t < trunks; t++ {
+			buf.WriteByte(',')
+			if t < len(s.TrunkUtil) {
+				buf.WriteString(f(s.TrunkUtil[t]))
+			}
+			buf.WriteByte(',')
+			if t < len(s.TrunkFrames) {
+				buf.WriteString(strconv.FormatUint(s.TrunkFrames[t], 10))
+			}
 		}
 		buf.WriteByte('\n')
 	}

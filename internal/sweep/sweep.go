@@ -177,6 +177,12 @@ type Result struct {
 	BridgePortDrops uint64 `json:"bridge_port_drops,omitempty"`
 	BridgeMaxQueued int    `json:"bridge_max_queued,omitempty"`
 	CrossTrunkStale uint64 `json:"cross_trunk_stale,omitempty"`
+	// TrunkUtil and TrunkFrames are the per-trunk wire utilization and
+	// frame counts in trunk order, so multi-trunk cells show which trunk
+	// saturates (the summed wire_bytes cannot). Omitted — keeping
+	// single-trunk reports byte-identical — on classic cells.
+	TrunkUtil   []float64 `json:"trunk_util,omitempty"`
+	TrunkFrames []uint64  `json:"trunk_frames,omitempty"`
 
 	// Deviations lists paper-band violations when the scenario carries a
 	// Figure reference; empty means all checked cells agree.
@@ -314,6 +320,8 @@ func (s Scenario) Run() Result {
 		res.BridgePortDrops = r.BridgePortDrops
 		res.BridgeMaxQueued = r.BridgeMaxQueued
 		res.CrossTrunkStale = r.CrossTrunkStale
+		res.TrunkUtil = r.TrunkUtil
+		res.TrunkFrames = r.TrunkFrames
 		if r.Wall > 0 {
 			res.OpsPerSec = float64(r.Additions) / r.Wall.Seconds()
 		}
@@ -440,6 +448,8 @@ func (r *Result) fillCluster(cs workload.ClusterStats) {
 	r.BridgePortDrops = cs.BridgePortDrops
 	r.BridgeMaxQueued = cs.BridgeMaxQueued
 	r.CrossTrunkStale = cs.CrossTrunkStale
+	r.TrunkUtil = cs.TrunkUtil
+	r.TrunkFrames = cs.TrunkFrames
 	if cs.Wall > 0 {
 		if r.Ops > 0 && r.OpsPerSec == 0 {
 			r.OpsPerSec = float64(r.Ops) / cs.Wall.Seconds()

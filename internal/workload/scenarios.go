@@ -48,6 +48,12 @@ type ClusterStats struct {
 	BridgeMaxQueued int
 	StaleDrops      uint64
 	CrossTrunkStale uint64
+	// TrunkUtil and TrunkFrames are each trunk's own wire utilization
+	// (busy time / wall) and transmitted frame count, in trunk order —
+	// which trunk saturates is invisible in the summed NetStats. Nil on
+	// the classic single-trunk worlds.
+	TrunkUtil   []float64
+	TrunkFrames []uint64
 }
 
 // collectCluster harvests ClusterStats from a finished world. extra is
@@ -80,6 +86,7 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 		cs.StaleDrops += m.StaleDrops
 		cs.CrossTrunkStale += m.CrossTrunkStale
 	}
+	cs.TrunkUtil, cs.TrunkFrames = w.TrunkUtilization(end)
 
 	var lat stats.Histogram
 	if extra != nil {

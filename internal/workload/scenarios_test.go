@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -102,7 +103,7 @@ func TestScenarioDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed, different barrier reports:\n a=%+v\n b=%+v", a, b)
 	}
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -63,7 +64,7 @@ func TestStationaryDeterministic(t *testing.T) {
 		}
 		return r
 	}
-	if a, b := run(), run(); a != b {
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed produced different reports:\n%+v\n%+v", a, b)
 	}
 }

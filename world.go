@@ -149,6 +149,12 @@ func NewWorld(cfg Config) *World {
 	// ring-doubling copies.
 	w.k.ReserveRunq(8 * cfg.Hosts)
 	coreCfg := cfg.Core
+	// One decode-once view pool per world: the drivers attach each
+	// broadcast's parsed header to its shared wire buffer so the other
+	// N-1 receivers skip the parse, and the buses hand views back to the
+	// pool as the buffers recycle.
+	views := core.NewViewPool()
+	coreCfg.Views = views
 	if cfg.Trunks > 1 {
 		w.topo = ethernet.NewTopology(w.k, cfg.Trunks, cfg.NetParams, cfg.Topology)
 		w.trunkOf = make([]int, cfg.Hosts)
@@ -167,8 +173,12 @@ func NewWorld(cfg Config) *World {
 		// (stale refreshes arriving after newer ones reordered by bridge
 		// queues) are counted, not just possible.
 		coreCfg.TrunkOf = w.trunkOf
+		for i := 0; i < w.topo.Trunks(); i++ {
+			w.topo.Bus(i).OnViewDrop(views.Recycle)
+		}
 	} else {
 		w.bus = ethernet.NewBus(w.k, cfg.NetParams)
+		w.bus.OnViewDrop(views.Recycle)
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		h := host.New(w.k, i, fmt.Sprintf("host%d", i), cfg.HostParams)
@@ -271,6 +281,43 @@ func (w *World) NetStats() ethernet.Stats {
 		return w.topo.Stats()
 	}
 	return w.bus.Stats()
+}
+
+// TrunkStats returns every trunk's own segment counters in trunk order
+// (a one-element slice for the classic single-bus world). Unlike
+// NetStats, nothing is summed: multi-trunk reports use this to show
+// which trunk's wire saturates.
+func (w *World) TrunkStats() []ethernet.Stats {
+	if w.topo == nil {
+		return []ethernet.Stats{w.bus.Stats()}
+	}
+	out := make([]ethernet.Stats, w.topo.Trunks())
+	for i := range out {
+		out[i] = w.topo.Bus(i).Stats()
+	}
+	return out
+}
+
+// TrunkUtilization returns each trunk's wire utilization (busy time as
+// a fraction of the given wall time) and transmitted frame count, in
+// trunk order — the report-ready form of TrunkStats. Nils for the
+// classic single-bus world, so report fields fed from it stay omitted
+// there.
+func (w *World) TrunkUtilization(wall time.Duration) ([]float64, []uint64) {
+	if w.topo == nil {
+		return nil, nil
+	}
+	util := make([]float64, 0, w.topo.Trunks())
+	frames := make([]uint64, 0, w.topo.Trunks())
+	for _, ts := range w.TrunkStats() {
+		u := 0.0
+		if wall > 0 {
+			u = float64(ts.BusyTime) / float64(wall)
+		}
+		util = append(util, u)
+		frames = append(frames, ts.Frames)
+	}
+	return util, frames
 }
 
 // EventsDispatched returns the number of simulation-kernel events
