@@ -44,6 +44,7 @@ var (
 	flagHosts     = flag.Int("hosts", 0, "restrict host-count grids (cluster) to one size (0 = all)")
 	flagOnly      = flag.String("only", "", "run only the scenarios whose name contains this substring (profiling a single cell)")
 	flagTrunks    = flag.Int("trunks", 0, "restrict the cluster grid's topology axis: 0 = full grid, 1 = classic single-trunk cells only (baseline comparisons), N>1 = every base cell on N bridged trunks")
+	flagRedund    = flag.Int("redundancy", 0, "force redundant-fetch fan-out k onto every cluster cell: 0 = default grid (explicit k cells), 1 = classic owner-only, N>1 = every read fault asks the owner plus N-1 replicas")
 	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
 	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
 	flagBaseline  = flag.String("baseline", "", "JSON report to compare against")
@@ -120,7 +121,13 @@ func main() {
 	if *flagTrunks < 0 || *flagTrunks > minHosts {
 		fatal(fmt.Errorf("-trunks %d out of range for %d hosts", *flagTrunks, minHosts))
 	}
-	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks})
+	// A fetch names at most MaxRedundantTargets-1 extra holders beyond
+	// the owner; reject out-of-range fan-outs as flag errors, not
+	// mid-sweep truncation surprises.
+	if *flagRedund < 0 || *flagRedund > proto.MaxRedundantTargets+1 {
+		fatal(fmt.Errorf("-redundancy %d out of range (0..%d)", *flagRedund, proto.MaxRedundantTargets+1))
+	}
+	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks, Redundancy: *flagRedund})
 	if err != nil {
 		fatal(err)
 	}

@@ -65,6 +65,20 @@ type Config struct {
 	// once per receiver. Nil disables caching (drivers decode directly,
 	// the pre-cache behaviour); world builders wire one pool per world.
 	Views *ViewPool
+	// Redundancy is the redundant-fetch fan-out k for read faults: a
+	// non-consistent demand request additionally names the k-1 nearest
+	// peers (trunk-aware) as extra targets, any of which may answer from
+	// a resident replica. The first response wins; replicas whose answer
+	// is overtaken by a transit suppress it. 0 or 1 is the classic
+	// owner-only protocol and leaves the wire format byte-identical.
+	Redundancy int
+	// NumHosts is the world's host count, needed by the redundant-fetch
+	// target selection (0 disables redundancy regardless of Redundancy).
+	NumHosts int
+	// TrunkHops returns the bridge-hop distance between two trunks for
+	// nearest-first target ordering. Nil falls back to 0 (same trunk) /
+	// 1 (different trunk) derived from TrunkOf.
+	TrunkHops func(a, b int) int
 }
 
 // DefaultConfig returns the calibrated Sun-3/50-class server cost model.
@@ -111,6 +125,11 @@ type Driver struct {
 	serverKey any
 	intrFn    func()
 	stepFn    func()
+	// redundant is the cached nearest-first extra-target list for
+	// redundant fetches (page-independent, built lazily once); its wire
+	// encoding is cached alongside so request sends do not re-encode it.
+	redundant    []int16
+	redundantEnc []byte
 }
 
 type workKind uint8
@@ -119,12 +138,18 @@ const (
 	workSendReq workKind = iota + 1
 	workPurge
 	workRedeliver
+	// workRedundant is a replica's deferred answer to a redundant fetch
+	// that named this host as an extra target; seq snapshots the page's
+	// transit count so the answer is suppressed if any transit (almost
+	// always the winning reply) covered the page in the meantime.
+	workRedundant
 )
 
 type workItem struct {
 	kind workKind
 	page vm.PageID
 	req  deferredReq
+	seq  uint64
 }
 
 // New creates the driver for host h using NIC n. The NIC's interrupt
@@ -643,6 +668,92 @@ func (d *Driver) Snapshot(id vm.PageID) PageSnapshot {
 		DataWaiters:  st.dataWaiters,
 		Gen:          st.frame.Gen(),
 	}
+}
+
+// redundantTargets returns the wire-encoded extra-target list naming
+// the `extra` nearest peers for a redundant fetch. Nearest-first is
+// trunk-aware: peers are ordered by bridge-hop distance from this
+// host's trunk, then by host-id distance (replicas of a page cluster
+// around its numeric neighbourhood in the block-partitioned worlds),
+// then by id for determinism. The list is page-independent, so it is
+// built once and cached; a host that turns out to be the owner is
+// harmless as a target (the owner answers the broadcast anyway and a
+// targeted owner skips the extra serve).
+func (d *Driver) redundantTargets(extra int) []byte {
+	if extra <= 0 || d.cfg.NumHosts <= 1 {
+		return nil
+	}
+	if d.redundantEnc == nil {
+		hops := d.cfg.TrunkHops
+		if hops == nil {
+			hops = func(a, b int) int {
+				if a == b {
+					return 0
+				}
+				return 1
+			}
+		}
+		trunkOf := func(h int) int {
+			if d.cfg.TrunkOf == nil || h >= len(d.cfg.TrunkOf) {
+				return 0
+			}
+			return d.cfg.TrunkOf[h]
+		}
+		self := d.h.ID()
+		max := proto.MaxRedundantTargets
+		ids := make([]int16, 0, max)
+		// Selection sort of the first `max` peers by (hops, |Δid|, id):
+		// host counts reach 1024 but max is 8, so the scan is cheap and
+		// allocation-free beyond the cached slices.
+		better := func(a, b int) bool {
+			ha, hb := hops(trunkOf(self), trunkOf(a)), hops(trunkOf(self), trunkOf(b))
+			if ha != hb {
+				return ha < hb
+			}
+			da, db := a-self, b-self
+			if da < 0 {
+				da = -da
+			}
+			if db < 0 {
+				db = -db
+			}
+			if da != db {
+				return da < db
+			}
+			return a < b
+		}
+		for len(ids) < max && len(ids) < d.cfg.NumHosts-1 {
+			best := -1
+			for h := 0; h < d.cfg.NumHosts; h++ {
+				if h == self {
+					continue
+				}
+				taken := false
+				for _, t := range ids {
+					if int(t) == h {
+						taken = true
+						break
+					}
+				}
+				if taken {
+					continue
+				}
+				if best < 0 || better(h, best) {
+					best = h
+				}
+			}
+			if best < 0 {
+				break
+			}
+			ids = append(ids, int16(best))
+		}
+		d.redundant = ids
+		d.redundantEnc = proto.AppendTargets(make([]byte, 0, 2*len(ids)), ids)
+	}
+	if extra > len(d.redundant) {
+		extra = len(d.redundant)
+	}
+	return d.redundantEnc[:2*extra]
 }
 
 // CheckInvariants verifies the cluster-wide single-consistent-copy

@@ -62,6 +62,8 @@ func (d *Driver) handleWork(p cpuSink, w workItem) {
 		} else {
 			d.serveRequest(p, st, w.req)
 		}
+	case workRedundant:
+		d.serveRedundant(p, st, w.req, w.seq)
 	}
 }
 
@@ -88,6 +90,17 @@ func (d *Driver) sendRequest(p cpuSink, st *pageState) {
 			From:       d.id,
 			OwnerTo:    proto.NoOwner,
 			ReqID:      st.reqID,
+		}
+		// Redundant fetch: a read fault additionally names the k-1
+		// nearest replicas as extra targets, trading a few wire bytes
+		// for a chance that a replica's answer beats (or survives the
+		// loss of) the owner's. Ownership requests never fan out — only
+		// the owner can grant the consistent copy.
+		if k := d.cfg.Redundancy; k > 1 && !pkt.Consistent {
+			if targets := d.redundantTargets(k - 1); len(targets) > 0 {
+				pkt.Data = targets
+				d.m.RedundantReqs++
+			}
 		}
 	}
 	st.reqID++
@@ -202,6 +215,31 @@ func (d *Driver) serveRequest(p cpuSink, st *pageState, r deferredReq) {
 	}
 }
 
+// serveRedundant answers a redundant fetch that named this replica as
+// an extra target. First-response-wins is enforced here on the loser's
+// side: seq snapshots the page's transit count at request arrival, and
+// any transit since — almost always the winning reply, which the serve
+// loops drain before work items — suppresses the answer instead of
+// putting a duplicate broadcast on the wire. A replica that does answer
+// sends a plain refresh (no ownership), so even a stale-but-resident
+// copy can only ever be dropped by the requester's generation check,
+// never regress a fresher winner.
+func (d *Driver) serveRedundant(p cpuSink, st *pageState, r deferredReq, seq uint64) {
+	if st.transitSeq != seq {
+		d.m.RedundantSuppressed++
+		return
+	}
+	// Became owner since (the request raced an ownership transfer): the
+	// owner path answers retransmits. Serve strictly within what is
+	// resident; a replica missing the remainder leaves a full-extent
+	// fetch to the owner rather than answering with a partial view.
+	if st.owner || !st.shortPresent || (!r.short && !st.restPresent) || st.locked || st.purgePending {
+		return
+	}
+	d.m.RedundantServes++
+	d.sendData(p, st, r.short, proto.NoOwner)
+}
+
 // sendData broadcasts page bytes (the only way data ever moves). Every
 // TypeData transit refreshes all resident copies cluster-wide. The
 // payload aliases the page frame (no snapshot copy): transmit encodes
@@ -249,7 +287,17 @@ func (d *Driver) handleFrame(p cpuSink, f ethernet.Frame) {
 	st := d.page(pkt.Page)
 	switch pkt.Type {
 	case proto.TypeRequest:
-		d.serveRequest(p, st, deferredReq{from: pkt.From, short: pkt.Short, cons: pkt.Consistent, reqID: pkt.ReqID})
+		r := deferredReq{from: pkt.From, short: pkt.Short, cons: pkt.Consistent, reqID: pkt.ReqID}
+		d.serveRequest(p, st, r)
+		// A redundant fetch that names this replica as an extra target:
+		// queue the answer with a transit-count snapshot so it can be
+		// suppressed if the owner's (or another replica's) reply covers
+		// the page first. The owner path above already answered, so a
+		// targeted owner adds nothing.
+		if len(pkt.Data) > 0 && !pkt.Consistent && !st.owner &&
+			pkt.From != d.id && proto.HasTarget(pkt.Data, d.id) {
+			d.enqueueWork(workItem{kind: workRedundant, page: st.page, req: r, seq: st.transitSeq})
+		}
 	case proto.TypeData:
 		d.handleData(st, pkt)
 	case proto.TypeRestRequest:
@@ -265,11 +313,22 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 	gen := uint64(pkt.Gen)
 	toMe := int(pkt.OwnerTo) == d.h.ID()
 	switch {
-	case toMe && st.owner && gen < st.frame.Gen():
-		// A duplicate of an ownership grant we already installed (the
-		// sender retransmits grants because they can be lost). Installing
-		// it would regress our consistent copy to pre-write contents.
+	case toMe && gen < st.frame.Gen() && !st.wantConsistent:
+		// A late or duplicate ownership grant (grants are retransmitted
+		// because they can be lost, and a reply answered after
+		// RetryTimeout races the retry's answer). wantConsistent clears
+		// only when a grant is adopted, so no-want plus an older
+		// generation proves this is a leftover copy of a grant we
+		// already adopted: installing it would regress the bytes and —
+		// if we wrote through the first copy and granted ownership
+		// onward since — mint a second consistent copy. The want check
+		// is what makes this safe: a grant that answers an outstanding
+		// fault is adopted even when snooped refreshes have pushed our
+		// replica's generation past it, because it carries the cluster's
+		// only ownership token and refusing it would strand the page
+		// with no owner at all.
 		d.m.StaleDrops++
+		d.m.LateGrantDrops++
 	case toMe:
 		// Ownership transfer addressed to us: install.
 		if st.frame.Install(pkt.Data, gen) != nil {
@@ -379,6 +438,19 @@ func (d *Driver) sendRestData(p cpuSink, st *pageState, to int16) {
 // handleRestData installs or refreshes the superset remainder.
 func (d *Driver) handleRestData(st *pageState, pkt proto.Packet) {
 	if int(pkt.OwnerTo) == d.h.ID() {
+		if !st.wantRest && st.restOwner {
+			// A late or duplicate rest grant. With no ask outstanding
+			// and the rest authority already here, an earlier copy of
+			// this grant was provably adopted: installing this one
+			// would clobber rest writes made since. Every other no-want
+			// case still adopts — most importantly when a full-page
+			// broadcast satisfied wantRest while the grant was in
+			// flight, where dropping would lose the authority the
+			// granter has already released.
+			d.m.LateGrantDrops++
+			d.h.Wakeup(st.waitK)
+			return
+		}
 		if st.frame.InstallRest(pkt.Data) != nil {
 			return
 		}

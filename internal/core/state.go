@@ -157,6 +157,19 @@ type Metrics struct {
 	Deferred        uint64 // requests deferred due to lock/purge
 	DataFallbacks   uint64 // data faults converted to demand (missed transit)
 	HoldOffs        uint64 // steal requests delayed by the residency holdoff
+	// Redundant-fetch counters (Config.Redundancy > 1). RedundantReqs
+	// counts requests sent with extra targets; RedundantServes counts
+	// replica answers sent on behalf of the owner; RedundantSuppressed
+	// counts replica answers cancelled because a transit (almost always
+	// the winning reply) covered the page first.
+	RedundantReqs       uint64
+	RedundantServes     uint64
+	RedundantSuppressed uint64
+	// LateGrantDrops counts ownership/rest grants addressed to this host
+	// that arrived after the want was already satisfied (a retransmit or
+	// a redundant loser racing a retry) and were dropped by explicit
+	// generation/want comparison instead of being double-applied.
+	LateGrantDrops uint64
 	// KernelTime is CPU consumed by interrupt-level protocol processing
 	// in kernel-server mode (zero with the user-level server).
 	KernelTime time.Duration

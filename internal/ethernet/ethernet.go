@@ -117,6 +117,10 @@ type Bus struct {
 	stats     Stats
 	free      []*frameBuf // payload buffer pool
 	freeDeliv []*delivery // delivery-event pool
+	// allocated counts payload buffers ever created for this bus; with
+	// every receiver releasing its frames, a quiescent bus has all of
+	// them back on the freelist (see PoolStats).
+	allocated int
 	// viewDrop, when set, receives each payload buffer's decode-once
 	// view as the buffer is recycled, so the layer that attached the
 	// view (which this package knows nothing about) can pool it.
@@ -180,7 +184,17 @@ func (b *Bus) acquire(n int) *frameBuf {
 		fb.refs = 0
 		return fb
 	}
+	b.allocated++
 	return &frameBuf{data: make([]byte, n)}
+}
+
+// PoolStats reports the payload-buffer pool's bookkeeping: buffers ever
+// allocated and buffers currently on the freelist. On a quiescent bus
+// whose receivers release every frame they consume the two are equal;
+// a gap is a leaked (never-released) buffer. Leak-detecting tests
+// assert exactly that across protocol exchanges.
+func (b *Bus) PoolStats() (allocated, free int) {
+	return b.allocated, len(b.free)
 }
 
 // releaseBuf drops one reference, recycling the buffer at zero. The

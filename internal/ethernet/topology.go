@@ -82,6 +82,7 @@ func (tc TopologyConfig) withDefaults() TopologyConfig {
 // Topology is a set of trunks (buses) joined by bridges into a loop-free
 // tree. Attach NICs to individual trunks with Bus(i).Attach.
 type Topology struct {
+	shape   Shape
 	buses   []*Bus
 	bridges []*Bridge
 }
@@ -94,7 +95,7 @@ func NewTopology(k *sim.Kernel, trunks int, p Params, tc TopologyConfig) *Topolo
 		panic(fmt.Sprintf("ethernet: topology needs at least 1 trunk, got %d", trunks))
 	}
 	tc = tc.withDefaults()
-	t := &Topology{}
+	t := &Topology{shape: tc.Shape}
 	for i := 0; i < trunks; i++ {
 		t.buses = append(t.buses, NewBus(k, p))
 	}
@@ -128,6 +129,28 @@ func (t *Topology) Bus(i int) *Bus { return t.buses[i] }
 // Bridges returns the bridges in construction order (advanced use:
 // per-bridge backlog or loss overrides before a run).
 func (t *Topology) Bridges() []*Bridge { return t.bridges }
+
+// Hops returns the number of bridges a frame crosses between trunks a
+// and b — the tree distance, used by nearest-first orderings (the
+// redundant-fetch target selection prefers same-trunk replicas, then
+// ever-farther ones). Both shapes are trees, so the path is unique.
+func (t *Topology) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	switch t.shape {
+	case Linear:
+		if a > b {
+			a, b = b, a
+		}
+		return b - a
+	default: // Star: via the backbone unless one end is the backbone
+		if a == 0 || b == 0 {
+			return 1
+		}
+		return 2
+	}
+}
 
 // Stats sums the segment counters over every trunk. A frame forwarded
 // across k bridges is counted on each trunk it crosses — cross-trunk

@@ -76,6 +76,11 @@ const (
 	// MaxHostID bounds the host ids the 16-bit signed wire fields can
 	// carry (NoOwner takes -1).
 	MaxHostID = 1<<15 - 1
+	// MaxRedundantTargets bounds the extra hosts a redundant TypeRequest
+	// may name in its payload (see AppendTargets). A classic request
+	// carries no payload, so k=1 stays byte-identical to version 2's
+	// original wire format.
+	MaxRedundantTargets = 8
 )
 
 // ErrMalformed reports an undecodable packet.
@@ -96,10 +101,11 @@ type Packet struct {
 }
 
 // payloadLen returns the required payload length for the packet type, or
-// -1 when any length is invalid.
+// -1 when any length is invalid. TypeRequest is variable-length (see
+// validateTargets) and handled separately by Validate.
 func (p Packet) payloadLen() int {
 	switch p.Type {
-	case TypeRequest, TypeRestRequest:
+	case TypeRestRequest:
 		return 0
 	case TypeData:
 		if p.Short {
@@ -115,17 +121,62 @@ func (p Packet) payloadLen() int {
 
 // Validate checks internal consistency without encoding.
 func (p Packet) Validate() error {
-	want := p.payloadLen()
-	if want < 0 {
-		return fmt.Errorf("%w: unknown type %d", ErrMalformed, p.Type)
-	}
-	if len(p.Data) != want {
-		return fmt.Errorf("%w: %s payload %d bytes, want %d", ErrMalformed, p.Type, len(p.Data), want)
+	if p.Type == TypeRequest {
+		if err := validateTargets(p.Data); err != nil {
+			return err
+		}
+	} else {
+		want := p.payloadLen()
+		if want < 0 {
+			return fmt.Errorf("%w: unknown type %d", ErrMalformed, p.Type)
+		}
+		if len(p.Data) != want {
+			return fmt.Errorf("%w: %s payload %d bytes, want %d", ErrMalformed, p.Type, len(p.Data), want)
+		}
 	}
 	if p.Page >= MaxPages {
 		return fmt.Errorf("%w: page %d beyond the 16-bit wire field", ErrMalformed, p.Page)
 	}
 	return nil
+}
+
+// validateTargets checks a TypeRequest's optional redundant-fetch target
+// list: little-endian uint16 host ids, at most MaxRedundantTargets of
+// them, each a valid host id. An empty payload is the classic request.
+func validateTargets(data []byte) error {
+	if len(data)%2 != 0 {
+		return fmt.Errorf("%w: REQ target payload %d bytes (odd)", ErrMalformed, len(data))
+	}
+	if len(data) > 2*MaxRedundantTargets {
+		return fmt.Errorf("%w: REQ names %d targets, max %d", ErrMalformed, len(data)/2, MaxRedundantTargets)
+	}
+	for i := 0; i < len(data); i += 2 {
+		if id := binary.LittleEndian.Uint16(data[i:]); id > MaxHostID {
+			return fmt.Errorf("%w: REQ target %d beyond host id space", ErrMalformed, id)
+		}
+	}
+	return nil
+}
+
+// AppendTargets encodes extra redundant-fetch target host ids onto dst
+// as a TypeRequest payload. A request with no targets (classic k=1)
+// encodes no payload and is byte-identical to the pre-redundancy wire
+// format.
+func AppendTargets(dst []byte, ids []int16) []byte {
+	for _, id := range ids {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(id))
+	}
+	return dst
+}
+
+// HasTarget reports whether a TypeRequest target payload names host id.
+func HasTarget(data []byte, id int16) bool {
+	for i := 0; i+2 <= len(data); i += 2 {
+		if int16(binary.LittleEndian.Uint16(data[i:])) == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Encode serializes the packet into a fresh buffer. Invalid type/payload

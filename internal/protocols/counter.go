@@ -427,6 +427,9 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 		r.DataFallbacks += m.DataFallbacks
 		r.StaleDrops += m.StaleDrops
 		r.CrossTrunkStale += m.CrossTrunkStale
+		r.RedundantServes += m.RedundantServes
+		r.RedundantSuppressed += m.RedundantSuppressed
+		r.LateDrops += m.LateGrantDrops
 	}
 	if r.Additions > 0 {
 		r.CtxPerAdd = float64(r.CtxSwitches) / float64(r.Additions)
@@ -439,6 +442,8 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 	r.AvgLatency = lat.Mean()
 	r.LatP50 = lat.Quantile(0.5)
 	r.LatP90 = lat.Quantile(0.9)
+	r.LatP99 = lat.Quantile(0.99)
+	r.LatP999 = lat.Quantile(0.999)
 	r.LatMax = lat.Max()
 	r.LatCount = lat.Count()
 	return r

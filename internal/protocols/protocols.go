@@ -163,10 +163,14 @@ type Report struct {
 	SpacePages     int
 	SpaceBytes     int
 	AvgLatency     time.Duration
-	// LatP50/P90/Max and LatCount describe the full fault-latency
-	// distribution (the sweep engine aggregates these, not just the mean).
+	// LatP50/P90/P99/P999/Max and LatCount describe the full
+	// fault-latency distribution (the sweep engine aggregates these,
+	// not just the mean); the tail quantiles are what the redundancy
+	// axis is measured by.
 	LatP50   time.Duration
 	LatP90   time.Duration
+	LatP99   time.Duration
+	LatP999  time.Duration
 	LatMax   time.Duration
 	LatCount uint64
 	Losses   uint64
@@ -194,6 +198,13 @@ type Report struct {
 	// or not (single-trunk host-queue races produce them too);
 	// CrossTrunkStale is its cross-trunk subset.
 	StaleDrops uint64
+	// Redundant-fetch counters (zero at the classic k=1): replica
+	// answers sent on behalf of owners, replica answers suppressed
+	// because the winner's reply landed first, and late/duplicate
+	// grants dropped by explicit generation comparison.
+	RedundantServes     uint64
+	RedundantSuppressed uint64
+	LateDrops           uint64
 	// TrunkUtil and TrunkFrames are each trunk's own wire utilization
 	// and frame count in trunk order (nil on a single trunk): the summed
 	// NetBytes cannot show which trunk saturates.

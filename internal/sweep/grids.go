@@ -27,6 +27,11 @@ type Options struct {
 	// -baseline comparisons against older reports show zero deltas.
 	// N > 1 instead runs every base cell on N star-joined trunks.
 	Trunks int
+	// Redundancy forces the redundant-fetch fan-out k onto every cluster
+	// cell (suffixing names with /kN) instead of adding the explicit
+	// k2/k3 cells; zero keeps the default grid. 1 is the classic
+	// owner-only protocol under its sweep-axis name.
+	Redundancy int
 }
 
 func (o Options) withDefaults() Options {
@@ -364,6 +369,30 @@ func ClusterGrid(o Options) []Scenario {
 					Trunks: 2, OwnerTrunk: 1, Seed: o.Seed},
 			)
 		}
+		// The redundancy axis (k > 1 read faults ask the owner plus the
+		// k-1 nearest replicas; first response wins) on the two cells
+		// where a replica answer should pay: the cross-trunk stationary
+		// cell, where the border hosts' ring samples otherwise wait out a
+		// bridge round trip the same-trunk replica skips.
+		if h == 64 && o.Redundancy == 0 {
+			for _, k := range []int{2, 3} {
+				out = append(out, Scenario{
+					Name: fmt.Sprintf("cluster/stationary/h%d/t2-star/k%d", h, k), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 2, Redundancy: k, Seed: o.Seed})
+			}
+		}
+		// The asymmetric-backlog cells drive Bridge.SetBacklog: the same
+		// 2-trunk stationary split with 5 ms of background traffic queued
+		// on one forwarding direction only — a congested uplink (toward
+		// trunk 1) vs a roomy downlink, and the mirror image.
+		if h == 64 {
+			out = append(out,
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t2-star/backlog-up", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 2, BacklogUp: 5 * time.Millisecond, Seed: o.Seed},
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t2-star/backlog-down", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Trunks: 2, BacklogDown: 5 * time.Millisecond, Seed: o.Seed},
+			)
+		}
 		// The 1024-host topology rung (make cluster-large): the tier that
 		// used to be intractable when every frame cost an O(hosts)
 		// receiver scan and every broadcast was parsed per receiver. The
@@ -397,6 +426,24 @@ func ClusterGrid(o Options) []Scenario {
 				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/loss-0.2%%", h), Kind: KindHotspot,
 					Hosts: h, Iters: hotIters, MinResidency: res, LossRate: 0.002, Seed: o.Seed},
 			)
+			// The redundancy axis crossed with loss: when the owner's
+			// answer is the datagram that got dropped, any replica's copy
+			// beats the 250 ms demand retry — the tail-latency cells.
+			if o.Redundancy == 0 {
+				for _, k := range []int{2, 3} {
+					out = append(out, Scenario{
+						Name: fmt.Sprintf("cluster/stationary/h%d/loss-0.2%%/k%d", h, k), Kind: KindStationary,
+						Hosts: h, Iters: iters * 2, LossRate: 0.002, Redundancy: k, Seed: o.Seed})
+				}
+			}
+		}
+	}
+	// -redundancy N forces the fan-out onto every cell instead of adding
+	// the explicit k cells, mirroring the forced-trunks axis.
+	if o.Redundancy > 1 {
+		for i := range out {
+			out[i].Redundancy = o.Redundancy
+			out[i].Name += fmt.Sprintf("/k%d", o.Redundancy)
 		}
 	}
 	return out
@@ -421,6 +468,8 @@ func SmokeGrid(o Options) []Scenario {
 		{Name: "smoke/barrier", Kind: KindBarrier, Hosts: 2, Phases: 4, Seed: o.Seed},
 		{Name: "smoke/pipeline", Kind: KindPipeline, Stages: 3, Messages: 8, MsgSize: 8, Seed: o.Seed},
 		{Name: "smoke/stationary-t2", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2, Seed: o.Seed},
+		{Name: "smoke/stationary-t2-k3", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2,
+			Redundancy: 3, Seed: o.Seed},
 	}
 }
 

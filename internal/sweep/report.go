@@ -33,9 +33,11 @@ var csvColumns = []string{
 	"wall_ns", "ops", "ops_per_sec", "loss_win",
 	"user_ns", "sys_ns", "server_ns", "ctx_switches",
 	"wire_bytes", "packets", "net_bytes_per_sec",
-	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_max_ns", "lat_count",
+	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_p99_ns", "lat_p999_ns",
+	"lat_max_ns", "lat_count",
 	"events",
 	"bridge_forwarded", "bridge_port_drops", "bridge_max_queued", "cross_trunk_stale",
+	"redundant_serves", "redundant_suppressed", "late_drops",
 	"deviations",
 }
 
@@ -75,13 +77,17 @@ func (r Report) CSV() []byte {
 			strconv.FormatUint(s.WireBytes, 10), strconv.FormatUint(s.Packets, 10),
 			f(s.NetBytesPerSec),
 			strconv.FormatInt(s.LatMeanNS, 10), strconv.FormatInt(s.LatP50NS, 10),
-			strconv.FormatInt(s.LatP90NS, 10), strconv.FormatInt(s.LatMaxNS, 10),
+			strconv.FormatInt(s.LatP90NS, 10), strconv.FormatInt(s.LatP99NS, 10),
+			strconv.FormatInt(s.LatP999NS, 10), strconv.FormatInt(s.LatMaxNS, 10),
 			strconv.FormatUint(s.LatCount, 10),
 			strconv.FormatUint(s.Events, 10),
 			strconv.FormatUint(s.BridgeForwarded, 10),
 			strconv.FormatUint(s.BridgePortDrops, 10),
 			strconv.Itoa(s.BridgeMaxQueued),
 			strconv.FormatUint(s.CrossTrunkStale, 10),
+			strconv.FormatUint(s.RedundantServes, 10),
+			strconv.FormatUint(s.RedundantSuppressed, 10),
+			strconv.FormatUint(s.LateDrops, 10),
 			csvQuote(strings.Join(s.Deviations, "; ")),
 		}
 		for i, c := range row {

@@ -130,6 +130,16 @@ type Scenario struct {
 	// drops almost all of it, so the large tier scales the ring with
 	// cluster fan-in.
 	RxRing int
+	// Redundancy is the redundant-fetch fan-out k (counter, hotspot,
+	// barrier, stationary): read faults name the k-1 nearest replicas as
+	// extra targets and the first response wins. 0/1 is the classic
+	// owner-only protocol and leaves reports byte-identical.
+	Redundancy int
+	// BacklogUp / BacklogDown model asymmetric background traffic on
+	// every bridge: extra forwarding delay toward the higher- and
+	// lower-numbered trunk respectively. Zero on classic cells.
+	BacklogUp   time.Duration
+	BacklogDown time.Duration
 }
 
 // Result is one scenario's aggregated measurements. Every field is a
@@ -157,9 +167,15 @@ type Result struct {
 	Packets        uint64  `json:"packets"`
 	NetBytesPerSec float64 `json:"net_bytes_per_sec"`
 
-	LatMeanNS int64  `json:"lat_mean_ns"`
-	LatP50NS  int64  `json:"lat_p50_ns"`
-	LatP90NS  int64  `json:"lat_p90_ns"`
+	LatMeanNS int64 `json:"lat_mean_ns"`
+	LatP50NS  int64 `json:"lat_p50_ns"`
+	LatP90NS  int64 `json:"lat_p90_ns"`
+	// LatP99NS / LatP999NS are the tail-latency columns the redundancy
+	// axis is measured by: the mean barely moves when a lost reply costs
+	// one cell a 250 ms retry, but the p99/p999 jump an order of
+	// magnitude.
+	LatP99NS  int64  `json:"lat_p99_ns"`
+	LatP999NS int64  `json:"lat_p999_ns"`
 	LatMaxNS  int64  `json:"lat_max_ns"`
 	LatCount  uint64 `json:"lat_count"`
 
@@ -183,6 +199,14 @@ type Result struct {
 	// single-trunk reports byte-identical — on classic cells.
 	TrunkUtil   []float64 `json:"trunk_util,omitempty"`
 	TrunkFrames []uint64  `json:"trunk_frames,omitempty"`
+
+	// Redundant-fetch counters, zero (and omitted) at the classic k=1:
+	// replica answers sent on behalf of owners, replica answers
+	// suppressed because the winner's reply landed first, and
+	// late/duplicate grants dropped by explicit generation comparison.
+	RedundantServes     uint64 `json:"redundant_serves,omitempty"`
+	RedundantSuppressed uint64 `json:"redundant_suppressed,omitempty"`
+	LateDrops           uint64 `json:"late_drops,omitempty"`
 
 	// Deviations lists paper-band violations when the scenario carries a
 	// Figure reference; empty means all checked cells agree.
@@ -240,10 +264,12 @@ func (s Scenario) netParams() ethernet.Params {
 	return np
 }
 
-// coreConfig builds the driver model for the server-placement axis.
+// coreConfig builds the driver model for the server-placement and
+// redundancy axes.
 func (s Scenario) coreConfig() core.Config {
 	cc := core.DefaultConfig(8)
 	cc.KernelServer = s.KernelServer
+	cc.Redundancy = s.Redundancy
 	return cc
 }
 
@@ -278,7 +304,10 @@ func (s Scenario) counterConfig(shape ethernet.Shape) protocols.Config {
 		NetParams:       s.netParams(),
 		Core:            s.coreConfig(),
 		Trunks:          s.Trunks,
-		Topology:        ethernet.TopologyConfig{Shape: shape, PortLoss: s.PortLoss},
+		Topology: ethernet.TopologyConfig{
+			Shape: shape, PortLoss: s.PortLoss,
+			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown,
+		},
 	}
 }
 
@@ -313,9 +342,14 @@ func (s Scenario) Run() Result {
 		res.LatMeanNS = int64(r.AvgLatency)
 		res.LatP50NS = int64(r.LatP50)
 		res.LatP90NS = int64(r.LatP90)
+		res.LatP99NS = int64(r.LatP99)
+		res.LatP999NS = int64(r.LatP999)
 		res.LatMaxNS = int64(r.LatMax)
 		res.LatCount = r.LatCount
 		res.Events = r.Events
+		res.RedundantServes = r.RedundantServes
+		res.RedundantSuppressed = r.RedundantSuppressed
+		res.LateDrops = r.LateDrops
 		res.BridgeForwarded = r.BridgeForwarded
 		res.BridgePortDrops = r.BridgePortDrops
 		res.BridgeMaxQueued = r.BridgeMaxQueued
@@ -369,6 +403,7 @@ func (s Scenario) Run() Result {
 			MinResidency: s.MinResidency, RetryTimeout: s.RetryTimeout,
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, OwnerTrunk: s.OwnerTrunk, PortLoss: s.PortLoss,
+			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
 			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -387,6 +422,7 @@ func (s Scenario) Run() Result {
 			CheckEvery: s.CheckEvery, WarmStart: s.WarmStart,
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
+			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
 			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -414,6 +450,7 @@ func (s Scenario) Run() Result {
 			Hosts: s.Hosts, Iters: s.Iters, WarmStart: s.WarmStart,
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
+			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
 			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -441,9 +478,14 @@ func (r *Result) fillCluster(cs workload.ClusterStats) {
 	r.LatMeanNS = int64(cs.LatMean)
 	r.LatP50NS = int64(cs.LatP50)
 	r.LatP90NS = int64(cs.LatP90)
+	r.LatP99NS = int64(cs.LatP99)
+	r.LatP999NS = int64(cs.LatP999)
 	r.LatMaxNS = int64(cs.LatMax)
 	r.LatCount = cs.LatCount
 	r.Events = cs.Events
+	r.RedundantServes = cs.RedundantServes
+	r.RedundantSuppressed = cs.RedundantSuppressed
+	r.LateDrops = cs.LateDrops
 	r.BridgeForwarded = cs.BridgeForwarded
 	r.BridgePortDrops = cs.BridgePortDrops
 	r.BridgeMaxQueued = cs.BridgeMaxQueued

@@ -35,8 +35,17 @@ type ClusterStats struct {
 	LatMean  time.Duration
 	LatP50   time.Duration
 	LatP90   time.Duration
+	LatP99   time.Duration
+	LatP999  time.Duration
 	LatMax   time.Duration
 	LatCount uint64
+	// Redundant-fetch counters (zero at the classic k=1): replica
+	// answers sent on behalf of owners, replica answers suppressed
+	// because the winner's reply landed first, and late/duplicate grants
+	// dropped by explicit generation comparison.
+	RedundantServes     uint64
+	RedundantSuppressed uint64
+	LateDrops           uint64
 	// Topology counters (zero on a single trunk): bridge forwarded
 	// frames, per-port drops, peak store-and-forward occupancy, and the
 	// drivers' staleness counters — StaleDrops totals every
@@ -85,6 +94,9 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 		m := w.Driver(i).Metrics()
 		cs.StaleDrops += m.StaleDrops
 		cs.CrossTrunkStale += m.CrossTrunkStale
+		cs.RedundantServes += m.RedundantServes
+		cs.RedundantSuppressed += m.RedundantSuppressed
+		cs.LateDrops += m.LateGrantDrops
 	}
 	cs.TrunkUtil, cs.TrunkFrames = w.TrunkUtilization(end)
 
@@ -99,6 +111,8 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	cs.LatMean = lat.Mean()
 	cs.LatP50 = lat.Quantile(0.5)
 	cs.LatP90 = lat.Quantile(0.9)
+	cs.LatP99 = lat.Quantile(0.99)
+	cs.LatP999 = lat.Quantile(0.999)
 	cs.LatMax = lat.Max()
 	cs.LatCount = lat.Count()
 	return cs
@@ -159,8 +173,16 @@ type HotspotConfig struct {
 	OwnerTrunk int
 	// PortLoss is the per-port bridge forwarding loss probability.
 	PortLoss float64
-	Seed     int64
-	Cap      time.Duration
+	// BacklogUp and BacklogDown model asymmetric background traffic on
+	// every bridge: extra forwarding delay toward the higher- and
+	// lower-numbered trunk respectively (see ethernet.TopologyConfig).
+	BacklogUp   time.Duration
+	BacklogDown time.Duration
+	// Redundancy is the redundant-fetch fan-out k for read faults (0/1 =
+	// the classic owner-only protocol).
+	Redundancy int
+	Seed       int64
+	Cap        time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -214,9 +236,13 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 	}
 	wcfg := mether.Config{
 		Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams,
-		Trunks: cfg.Trunks, Topology: ethernet.TopologyConfig{Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss},
+		Trunks: cfg.Trunks,
+		Topology: ethernet.TopologyConfig{
+			Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss,
+			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
+		},
 	}
-	if cfg.MinResidency > 0 || cfg.RetryTimeout > 0 || cfg.KernelServer {
+	if cfg.MinResidency > 0 || cfg.RetryTimeout > 0 || cfg.KernelServer || cfg.Redundancy > 1 {
 		wcfg.Core = core.DefaultConfig(8)
 		if cfg.MinResidency > 0 {
 			wcfg.Core.MinResidency = cfg.MinResidency
@@ -225,6 +251,7 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 			wcfg.Core.RetryTimeout = cfg.RetryTimeout
 		}
 		wcfg.Core.KernelServer = cfg.KernelServer
+		wcfg.Core.Redundancy = cfg.Redundancy
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
@@ -324,10 +351,17 @@ type BarrierConfig struct {
 	Trunks     int
 	TrunkShape ethernet.Shape
 	// PortLoss is the per-port bridge forwarding loss probability.
-	PortLoss  float64
-	Seed      int64
-	Cap       time.Duration
-	NetParams ethernet.Params
+	PortLoss float64
+	// BacklogUp and BacklogDown model asymmetric background traffic on
+	// every bridge (see ethernet.TopologyConfig).
+	BacklogUp   time.Duration
+	BacklogDown time.Duration
+	// Redundancy is the redundant-fetch fan-out k for read faults (0/1 =
+	// the classic owner-only protocol).
+	Redundancy int
+	Seed       int64
+	Cap        time.Duration
+	NetParams  ethernet.Params
 }
 
 // BarrierReport is the barrier run's measurements. The latency fields of
@@ -378,11 +412,16 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 	}
 	wcfg := mether.Config{
 		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams,
-		Trunks: cfg.Trunks, Topology: ethernet.TopologyConfig{Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss},
+		Trunks: cfg.Trunks,
+		Topology: ethernet.TopologyConfig{
+			Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss,
+			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
+		},
 	}
-	if cfg.KernelServer {
+	if cfg.KernelServer || cfg.Redundancy > 1 {
 		wcfg.Core = core.DefaultConfig(pages)
-		wcfg.Core.KernelServer = true
+		wcfg.Core.KernelServer = cfg.KernelServer
+		wcfg.Core.Redundancy = cfg.Redundancy
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()

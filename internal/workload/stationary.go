@@ -51,8 +51,18 @@ type StationaryConfig struct {
 	TrunkShape ethernet.Shape
 	// PortLoss is the per-port bridge forwarding loss probability.
 	PortLoss float64
-	Seed     int64
-	Cap      time.Duration
+	// BacklogUp and BacklogDown model asymmetric background traffic on
+	// every bridge: extra forwarding delay toward the higher- and
+	// lower-numbered trunk respectively (see ethernet.TopologyConfig).
+	BacklogUp   time.Duration
+	BacklogDown time.Duration
+	// Redundancy is the redundant-fetch fan-out k for the neighbour
+	// samples' read faults (0/1 = the classic owner-only protocol): each
+	// demand fetch additionally names the k-1 nearest replicas, any of
+	// which may answer first — the tail-latency-for-wire-bytes trade.
+	Redundancy int
+	Seed       int64
+	Cap        time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -104,11 +114,16 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	}
 	wcfg := mether.Config{
 		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams,
-		Trunks: cfg.Trunks, Topology: ethernet.TopologyConfig{Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss},
+		Trunks: cfg.Trunks,
+		Topology: ethernet.TopologyConfig{
+			Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss,
+			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
+		},
 	}
-	if cfg.KernelServer {
+	if cfg.KernelServer || cfg.Redundancy > 1 {
 		wcfg.Core = core.DefaultConfig(pages)
-		wcfg.Core.KernelServer = true
+		wcfg.Core.KernelServer = cfg.KernelServer
+		wcfg.Core.Redundancy = cfg.Redundancy
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()

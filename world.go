@@ -149,6 +149,9 @@ func NewWorld(cfg Config) *World {
 	// ring-doubling copies.
 	w.k.ReserveRunq(8 * cfg.Hosts)
 	coreCfg := cfg.Core
+	// The drivers learn the cluster size for redundant-fetch target
+	// selection (a no-op at the default Redundancy of 0/1).
+	coreCfg.NumHosts = cfg.Hosts
 	// One decode-once view pool per world: the drivers attach each
 	// broadcast's parsed header to its shared wire buffer so the other
 	// N-1 receivers skip the parse, and the buses hand views back to the
@@ -173,6 +176,9 @@ func NewWorld(cfg Config) *World {
 		// (stale refreshes arriving after newer ones reordered by bridge
 		// queues) are counted, not just possible.
 		coreCfg.TrunkOf = w.trunkOf
+		// Bridge-hop distances feed the redundant-fetch nearest-first
+		// target ordering (same trunk beats one hop beats two).
+		coreCfg.TrunkHops = w.topo.Hops
 		for i := 0; i < w.topo.Trunks(); i++ {
 			w.topo.Bus(i).OnViewDrop(views.Recycle)
 		}
