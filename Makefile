@@ -16,6 +16,11 @@
 #   make cluster-large - the 1024-host tier of the cluster grid (slower;
 #                        kept out of `make cluster` so bench records stay
 #                        comparable across PRs)
+#   make cluster-xl    - the 10000-host windowed flyweight tier: one
+#                        stationary cell with working-set attach, lazy
+#                        replica materialization and fan-in-sized rx
+#                        rings; writes cluster-xl.json so the nightly
+#                        workflow can upload the report
 #   make bench         - the hot-path microbenchmarks (kernel dispatch incl.
 #                        the 4096-deep timer population, host sleep/wake and
 #                        quantum rotation, bus broadcast, full counter runs)
@@ -42,7 +47,7 @@ GO ?= go
 
 MICROBENCH = BenchmarkKernelDispatch|BenchmarkKernelDispatchImmediate|BenchmarkKernelDispatchDeep|BenchmarkKernelScheduleCancel|BenchmarkHostSleepWake|BenchmarkHostQuantumRotation|BenchmarkBusBroadcast|BenchmarkCounterRun
 
-.PHONY: ci ci-stage fmt-check vet test race smoke cluster-smoke cluster-large sweep cluster bench bench-smoke bench-record bench-check profile
+.PHONY: ci ci-stage fmt-check vet test race smoke cluster-smoke cluster-large cluster-xl sweep cluster bench bench-smoke bench-record bench-check profile
 
 # Each CI stage runs through ci-stage so the log carries exactly one
 # machine-readable verdict line per stage, pass or fail.
@@ -84,6 +89,16 @@ cluster-smoke:
 
 cluster-large:
 	$(GO) run ./cmd/methersweep -grid cluster -hosts 1024 -format summary
+
+# The report is written to disk (JSON, not summary) so the nightly
+# workflow can attach it: the 10k-host cell's numbers — mem_bytes,
+# bytes_per_host, ring high-water, latency tails — are the point of
+# running it.
+XL_REPORT ?= cluster-xl.json
+
+cluster-xl:
+	$(GO) run ./cmd/methersweep -grid cluster -hosts 10000 -format json -o $(XL_REPORT)
+	@echo "wrote $(XL_REPORT)"
 
 sweep:
 	$(GO) run ./cmd/methersweep -grid paper -target 1024 -format summary

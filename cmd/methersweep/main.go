@@ -66,6 +66,12 @@ const (
 	benchEventsTol   = 0.15
 	benchAllocsTol   = 0.10
 	benchAllocsEpsil = 0.001
+	// benchMemTol gates bytes/host of the grid's biggest world: the
+	// measurement is deterministic, but per-host footprint legitimately
+	// moves with struct layout and directory shape, so the band is a
+	// growth ratchet, not an equality check. Records predating the field
+	// (BytesPerHost 0) skip the gate.
+	benchMemTol = 0.25
 )
 
 // benchRecord is the engine-throughput trajectory point -bench-out
@@ -85,6 +91,12 @@ type benchRecord struct {
 	AllocsTotal    uint64  `json:"allocs_total"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// BytesPerHost is the structural memory footprint per host of the
+	// grid's biggest world (the cell with the largest mem_bytes) — the
+	// flyweight-scaling headline. Unlike the fields above it is a
+	// virtual-world measurement, deterministic for a given grid and seed;
+	// zero when no cell reports a footprint (pre-flyweight records).
+	BytesPerHost float64 `json:"bytes_per_host,omitempty"`
 }
 
 func main() {
@@ -319,8 +331,13 @@ func buildBenchRecord(report sweep.Report, timing sweep.Timing, before, after ru
 		ElapsedNS:   timing.Elapsed.Nanoseconds(),
 		AllocsTotal: after.Mallocs - before.Mallocs,
 	}
+	var maxMem uint64
 	for _, s := range report.Scenarios {
 		rec.EventsTotal += s.Events
+		if s.MemBytes > maxMem {
+			maxMem = s.MemBytes
+			rec.BytesPerHost = s.BytesPerHost
+		}
 	}
 	if sec := timing.Elapsed.Seconds(); sec > 0 {
 		rec.WorldsPerSec = float64(rec.Scenarios) / sec
@@ -377,6 +394,13 @@ func checkBenchBaseline(path string, rec benchRecord) (bool, error) {
 		fmt.Fprintf(os.Stderr, "bench gate: allocs/event %.4f above %.4f (baseline %.4f +%d%%)\n",
 			rec.AllocsPerEvent, ceil, base.AllocsPerEvent, int(benchAllocsTol*100))
 		ok = false
+	}
+	if base.BytesPerHost > 0 {
+		if ceil := base.BytesPerHost * (1 + benchMemTol); rec.BytesPerHost > ceil {
+			fmt.Fprintf(os.Stderr, "bench gate: bytes/host %.0f above %.0f (baseline %.0f +%d%%)\n",
+				rec.BytesPerHost, ceil, base.BytesPerHost, int(benchMemTol*100))
+			ok = false
+		}
 	}
 	if ok {
 		fmt.Fprintf(os.Stderr, "bench gate: events/sec %.3g (baseline %.3g), allocs/event %.4f (baseline %.4f) within tolerance\n",

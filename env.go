@@ -64,6 +64,33 @@ func (e *Env) Attach(c Capability, mode Mode) (*Mapping, error) {
 	return &Mapping{env: e, seg: seg, mode: mode}, nil
 }
 
+// AttachPages maps only the named segment-relative pages instead of the
+// whole segment: the windowed attach for workloads whose per-host
+// working set is O(1) pages of an O(hosts)-page segment. A full Attach
+// maps (and on a cold world demand-fetches) every page on every host —
+// quadratic state for linear use — where a windowed attach keeps each
+// host's mapped set, and therefore its driver directory, at working-set
+// size. Accessing an unlisted page through the returned mapping fails
+// with ErrNotMapped exactly as an unattached segment would.
+func (e *Env) AttachPages(c Capability, mode Mode, pages ...int) (*Mapping, error) {
+	seg, err := e.w.LookupSegment(c.Segment)
+	if err != nil {
+		return nil, err
+	}
+	if err := seg.checkAttach(c, mode); err != nil {
+		return nil, err
+	}
+	for _, pg := range pages {
+		if pg < 0 || pg >= seg.pages {
+			return nil, fmt.Errorf("mether: attach %q: page %d outside segment", c.Segment, pg)
+		}
+		if err := e.d.MapIn(e.p, mode, seg.base+vm.PageID(pg)); err != nil {
+			return nil, fmt.Errorf("mether: attach %q: %w", c.Segment, err)
+		}
+	}
+	return &Mapping{env: e, seg: seg, mode: mode}, nil
+}
+
 // Mapping is an attached segment. All accessors take segment-relative
 // addresses built with Addr.
 type Mapping struct {

@@ -79,6 +79,18 @@ type Config struct {
 	// nearest-first target ordering. Nil falls back to 0 (same trunk) /
 	// 1 (different trunk) derived from TrunkOf.
 	TrunkHops func(a, b int) int
+	// LazyReplicas keeps the receive path from materializing page state
+	// for pages this host has never touched: snooped broadcasts that are
+	// not addressed here are noted in a transit bitmap and skipped
+	// (handling cost is still charged — the skip is memory-only). The
+	// trade is that an untouched seeded replica no longer tracks refresh
+	// broadcasts, so its first materialized read sees the seed-time zeros
+	// rather than the latest transit, and redundant-fetch targets without
+	// state never answer. The classic grids leave this off (their warm
+	// multi-trunk and k>1 cells measure exactly those refresh effects);
+	// the 4096/10000-host tiers turn it on, where hosts touch O(1) of the
+	// page space and per-host state must track the working set.
+	LazyReplicas bool
 }
 
 // DefaultConfig returns the calibrated Sun-3/50-class server cost model.
@@ -103,10 +115,17 @@ type Driver struct {
 	id    int16
 	trunk int // this host's trunk (0 when Config.TrunkOf is nil)
 
-	// pages is dense, indexed by PageID: the space is bounded by
-	// Config.NumPages, and a slice lookup on the fault/receive hot path
-	// beats a map probe. Entries are created lazily on first touch.
-	pages []*pageState
+	// shards is the two-level page directory (directory.go): a dense
+	// slice of shard pointers indexed by PageID>>shardBits, with leaf
+	// shards materialized on first touch so footprint tracks the working
+	// set. The hot-path lookup stays a branch plus two indexes.
+	shards []*pageShard
+	// seedRanges records warm-replica seeding (SeedReplicaRange) applied
+	// lazily as directory entries materialize.
+	seedRanges []pageRange
+	// transits marks pages whose TypeData broadcasts were snooped while
+	// unmaterialized (LazyReplicas mode); nil until first needed.
+	transits []uint64
 	// workq is drained via workHead instead of re-slicing so the backing
 	// array is reused once the queue empties.
 	workq     []workItem
@@ -162,18 +181,22 @@ func New(h *host.Host, n *ethernet.NIC, cfg Config) *Driver {
 		panic(fmt.Sprintf("core: host id %d beyond the wire format's %d", h.ID(), proto.MaxHostID))
 	}
 	d := &Driver{
-		h:     h,
-		nic:   n,
-		cfg:   cfg,
-		id:    int16(h.ID()),
-		pages: make([]*pageState, cfg.NumPages),
+		h:      h,
+		nic:    n,
+		cfg:    cfg,
+		id:     int16(h.ID()),
+		shards: make([]*pageShard, (cfg.NumPages+shardSize-1)>>shardBits),
 	}
 	if cfg.TrunkOf != nil {
 		d.trunk = cfg.TrunkOf[h.ID()]
 	}
 	d.serverKey = serverKey{h.ID()}
 	d.intrFn = func() { d.h.Wakeup(d.serverKey) }
-	d.stepFn = func() { d.kernelStep() }
+	if cfg.KernelServer {
+		// stepFn only drives the interrupt-level drain loop; user-level
+		// server worlds never call it, so don't box a closure per driver.
+		d.stepFn = func() { d.kernelStep() }
+	}
 	return d
 }
 
@@ -195,21 +218,6 @@ func (d *Driver) FrameArrived() {
 	d.h.Interrupt(d.intrFn)
 }
 
-// page returns (creating lazily) the state for a page.
-func (d *Driver) page(id vm.PageID) *pageState {
-	if int(id) >= len(d.pages) {
-		panic(fmt.Sprintf("core: page %d beyond configured space", id))
-	}
-	st := d.pages[id]
-	if st == nil {
-		st = &pageState{page: id, frame: &vm.Frame{}, grantedTo: proto.NoOwner, grantedRestTo: proto.NoOwner}
-		st.waitK = waitKey{id}
-		st.purgeK = purgeKey{id}
-		d.pages[id] = st
-	}
-	return st
-}
-
 // CreatePage makes this host the initial owner of a page: the consistent
 // copy and the authoritative remainder both start here, zero-filled.
 func (d *Driver) CreatePage(id vm.PageID) {
@@ -218,25 +226,6 @@ func (d *Driver) CreatePage(id vm.PageID) {
 	st.restOwner = true
 	st.shortPresent = true
 	st.restPresent = true
-}
-
-// SeedReplica installs a warm zero-filled read-only replica of a page,
-// as if a broadcast of the owner's (still zero-filled, generation-zero)
-// copy had already transited. Large-cluster scenarios seed replicas at
-// world build to model a long-running cluster with resident copies:
-// without it, every host's attach must demand-fetch every page, and the
-// resulting request broadcasts — each ingested by every host — make
-// cold start an O(hosts³) event storm that swamps the workload being
-// measured. A no-op on the owning host.
-func (d *Driver) SeedReplica(id vm.PageID) {
-	st := d.page(id)
-	if st.owner {
-		return
-	}
-	st.shortPresent = true
-	if !st.restOwner {
-		st.restPresent = true
-	}
 }
 
 // MapIn maps a page into the given space. Per Figure 1 ("mapping a page
@@ -760,40 +749,49 @@ func (d *Driver) redundantTargets(extra int) []byte {
 // invariants over a set of drivers sharing one page space: each page has
 // exactly one owner and one rest-owner, owners hold their regions, and
 // locked/purge-pending flags only appear on owners' pages where required.
+// The walk is driver-major over materialized shards only — an
+// unmaterialized (or merely seeded) entry holds no authority by
+// construction, so skipping it checks the same invariants in
+// O(working set + pages) instead of O(drivers × pages).
 func CheckInvariants(drivers ...*Driver) error {
 	if len(drivers) == 0 {
 		return nil
 	}
 	n := drivers[0].cfg.NumPages
+	owners := make([]int16, n)
+	restOwners := make([]int16, n)
+	for _, d := range drivers {
+		for si, s := range d.shards {
+			if s == nil {
+				continue
+			}
+			for i := range s {
+				st := &s[i]
+				if !st.inited {
+					continue
+				}
+				pg := si<<shardBits | i
+				if st.owner {
+					owners[pg]++
+					if !st.shortPresent {
+						return fmt.Errorf("host %d owns page %d without short presence", d.h.ID(), pg)
+					}
+				}
+				if st.restOwner {
+					restOwners[pg]++
+					if !st.restPresent {
+						return fmt.Errorf("host %d rest-owns page %d without rest presence", d.h.ID(), pg)
+					}
+				}
+			}
+		}
+	}
 	for pg := 0; pg < n; pg++ {
-		id := vm.PageID(pg)
-		owners, restOwners := 0, 0
-		for _, d := range drivers {
-			if int(id) >= len(d.pages) {
-				continue
-			}
-			st := d.pages[id]
-			if st == nil {
-				continue
-			}
-			if st.owner {
-				owners++
-				if !st.shortPresent {
-					return fmt.Errorf("host %d owns page %d without short presence", d.h.ID(), pg)
-				}
-			}
-			if st.restOwner {
-				restOwners++
-				if !st.restPresent {
-					return fmt.Errorf("host %d rest-owns page %d without rest presence", d.h.ID(), pg)
-				}
-			}
+		if owners[pg] > 1 {
+			return fmt.Errorf("page %d has %d consistent copies", pg, owners[pg])
 		}
-		if owners > 1 {
-			return fmt.Errorf("page %d has %d consistent copies", pg, owners)
-		}
-		if restOwners > 1 {
-			return fmt.Errorf("page %d has %d rest owners", pg, restOwners)
+		if restOwners[pg] > 1 {
+			return fmt.Errorf("page %d has %d rest owners", pg, restOwners[pg])
 		}
 	}
 	return nil

@@ -284,7 +284,14 @@ func (d *Driver) handleFrame(p cpuSink, f ethernet.Frame) {
 		return
 	}
 	p.UseSys(d.cfg.PacketCost + time.Duration(len(pkt.Data))*d.cfg.ByteCost)
-	st := d.page(pkt.Page)
+	var st *pageState
+	if d.cfg.LazyReplicas {
+		if st = d.lazyLookup(pkt); st == nil {
+			return
+		}
+	} else {
+		st = d.page(pkt.Page)
+	}
 	switch pkt.Type {
 	case proto.TypeRequest:
 		r := deferredReq{from: pkt.From, short: pkt.Short, cons: pkt.Consistent, reqID: pkt.ReqID}
@@ -305,6 +312,41 @@ func (d *Driver) handleFrame(p cpuSink, f ethernet.Frame) {
 	case proto.TypeRestData:
 		d.handleRestData(st, pkt)
 	}
+}
+
+// lazyLookup resolves a received packet's page state without
+// materializing state for pages this host has never touched
+// (Config.LazyReplicas). The handling cost has already been charged —
+// every station still ingests every broadcast — so the skip is
+// memory-only. An unmaterialized page implies, by construction: not
+// owner, not rest owner, nothing granted from here, no local waiters.
+// Under those facts each packet type's handler is a no-op unless the
+// frame is addressed to this host (a grant answering our own request,
+// which MapIn/fault paths materialize before sending) or names it as a
+// redundant-fetch target; only those materialize. Unaddressed TypeData
+// transits are noted in the transit bitmap so a later materialization
+// still observes that the page transited (the purge→data-fault race
+// detector compares transit counts for equality only).
+func (d *Driver) lazyLookup(pkt proto.Packet) *pageState {
+	if st := d.peek(pkt.Page); st != nil {
+		return st
+	}
+	switch pkt.Type {
+	case proto.TypeRequest:
+		if len(pkt.Data) > 0 && !pkt.Consistent && pkt.From != d.id && proto.HasTarget(pkt.Data, d.id) {
+			return d.page(pkt.Page)
+		}
+	case proto.TypeData:
+		if int(pkt.OwnerTo) == d.h.ID() {
+			return d.page(pkt.Page)
+		}
+		d.noteTransit(pkt.Page)
+	case proto.TypeRestData:
+		if int(pkt.OwnerTo) == d.h.ID() {
+			return d.page(pkt.Page)
+		}
+	}
+	return nil
 }
 
 // handleData implements the snoopy receive path for page broadcasts.

@@ -19,8 +19,14 @@ import (
 //     short-view ownership transfer);
 //   - restOwner implies restPresent; owner implies shortPresent.
 type pageState struct {
-	page  vm.PageID
-	frame *vm.Frame
+	// inited distinguishes a materialized entry from the zero value its
+	// directory shard was born with; the directory (directory.go) sets it
+	// on first touch after filling the non-zero defaults.
+	inited bool
+	page   vm.PageID
+	// frame lives inline: a pageState and its bytes are one allocation
+	// (per shard), and the flyweight frame costs nothing until written.
+	frame vm.Frame
 
 	shortPresent bool // first 32 bytes resident
 	restPresent  bool // bytes [32, 8192) resident

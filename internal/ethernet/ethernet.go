@@ -20,6 +20,7 @@ package ethernet
 import (
 	"fmt"
 	"time"
+	"unsafe"
 
 	"mether/internal/sim"
 )
@@ -103,7 +104,11 @@ type Stats struct {
 	WireLost     uint64 // frames corrupted on the wire (LossRate)
 	RingDrops    uint64 // per-receiver drops due to full rings
 	TxSuppressed uint64 // sends swallowed because the transmitting NIC was down
-	BusyTime     time.Duration
+	// RingHighWater is the peak receive-ring occupancy of any NIC on the
+	// segment: the evidence that a ring's configured capacity was (or was
+	// not) actually needed. Aggregated by max, never summed.
+	RingHighWater int
+	BusyTime      time.Duration
 }
 
 // Bus is one shared segment. Attach NICs before sending. NIC ids are
@@ -153,12 +158,16 @@ func NewBus(k *sim.Kernel, p Params) *Bus {
 func (b *Bus) Params() Params { return b.p }
 
 // Stats returns a snapshot of the segment counters. Ring drops and
-// suppressed transmissions are summed over all NICs.
+// suppressed transmissions are summed over all NICs; the ring high-water
+// mark is the max.
 func (b *Bus) Stats() Stats {
 	s := b.stats
 	for _, n := range b.nics {
 		s.RingDrops += n.drops
 		s.TxSuppressed += n.txSuppressed
+		if n.highWater > s.RingHighWater {
+			s.RingHighWater = n.highWater
+		}
 	}
 	return s
 }
@@ -186,6 +195,25 @@ func (b *Bus) acquire(n int) *frameBuf {
 	}
 	b.allocated++
 	return &frameBuf{data: make([]byte, n)}
+}
+
+// MemFootprint returns the segment's structural memory footprint in
+// bytes: every NIC's physically allocated ring plus the pooled payload
+// buffers and delivery records currently on the freelists. Like the
+// driver's footprint walk it is a deterministic function of simulated
+// behaviour, never of runtime heap state.
+func (b *Bus) MemFootprint() uint64 {
+	m := uint64(unsafe.Sizeof(*b))
+	for _, n := range b.nics {
+		m += uint64(unsafe.Sizeof(n)) + n.MemFootprint()
+	}
+	for _, fb := range b.free {
+		m += uint64(unsafe.Sizeof(*fb)) + uint64(cap(fb.data))
+	}
+	m += uint64(cap(b.free)) * uint64(unsafe.Sizeof((*frameBuf)(nil)))
+	m += uint64(cap(b.freeDeliv)) * uint64(unsafe.Sizeof((*delivery)(nil)))
+	m += uint64(len(b.freeDeliv)) * uint64(unsafe.Sizeof(delivery{}))
+	return m
 }
 
 // PoolStats reports the payload-buffer pool's bookkeeping: buffers ever
@@ -222,30 +250,46 @@ func (b *Bus) releaseBuf(fb *frameBuf) {
 // builder to the protocol layer's view pool.
 func (b *Bus) OnViewDrop(fn func(any)) { b.viewDrop = fn }
 
-// Attach adds a NIC to the segment. intr is invoked in kernel event
-// context whenever a frame is queued into the NIC's receive ring; it is
+// Attach adds a NIC to the segment with the segment-default ring
+// capacity (Params.RxRing). intr is invoked in kernel event context
+// whenever a frame is queued into the NIC's receive ring; it is
 // typically wired to a host interrupt that wakes the Mether server.
 func (b *Bus) Attach(name string, intr func()) *NIC {
-	ringCap := b.p.RxRing
+	return b.AttachWithRing(name, intr, b.p.RxRing)
+}
+
+// AttachWithRing adds a NIC with an explicit receive-ring capacity,
+// overriding the segment default. Only hosts that see fan-in bursts
+// (owners and servers at the large tiers) need deep rings; sizing by
+// role keeps a world's ring memory proportional to its real fan-in
+// instead of hosts × uniform-worst-case.
+func (b *Bus) AttachWithRing(name string, intr func(), ringCap int) *NIC {
 	if ringCap < 0 {
 		ringCap = 0
 	}
-	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr, ring: make([]Frame, ringCap)}
+	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr, ringCap: ringCap}
 	b.nics = append(b.nics, n)
 	return n
 }
 
-// NIC is one station on the segment. Its receive ring is a fixed
-// circular buffer of Params.RxRing slots.
+// NIC is one station on the segment. Its receive ring is a circular
+// buffer bounded by ringCap logical slots: arrivals beyond the bound
+// are dropped exactly as a fixed ring of that size would, but the
+// backing array starts empty and doubles with actual occupancy, so an
+// idle or lightly-loaded station never pays for its worst case.
 type NIC struct {
-	bus   *Bus
-	id    int
-	name  string
-	ring  []Frame // circular; len(ring) == capacity
-	head  int
-	count int
-	intr  func()
-	drops uint64
+	bus     *Bus
+	id      int
+	name    string
+	ring    []Frame // circular physical storage; grows up to ringCap
+	ringCap int     // logical capacity: the drop threshold
+	head    int
+	count   int
+	// highWater is the peak occupancy ever reached — the measured fan-in
+	// that proves (or disproves) the configured capacity was needed.
+	highWater int
+	intr      func()
+	drops     uint64
 	// txSuppressed counts Send calls swallowed because the station was
 	// down. Before the counter existed these vanished without a trace,
 	// which made down-NIC scenarios undebuggable: the sender's protocol
@@ -280,6 +324,20 @@ func (n *NIC) TxSuppressed() uint64 { return n.txSuppressed }
 
 // Pending returns the number of frames waiting in the receive ring.
 func (n *NIC) Pending() int { return n.count }
+
+// RingHighWater returns the peak receive-ring occupancy this NIC ever
+// reached.
+func (n *NIC) RingHighWater() int { return n.highWater }
+
+// RingCap returns the logical receive-ring capacity (the drop bound).
+func (n *NIC) RingCap() int { return n.ringCap }
+
+// MemFootprint returns the NIC's structural memory footprint in bytes
+// (the physically allocated ring slots — the lazily grown array, not
+// the logical bound).
+func (n *NIC) MemFootprint() uint64 {
+	return uint64(unsafe.Sizeof(*n)) + uint64(cap(n.ring))*uint64(unsafe.Sizeof(Frame{}))
+}
 
 // Recv dequeues the oldest received frame, reporting false if the ring
 // is empty. The frame's payload remains valid until Release.
@@ -443,20 +501,48 @@ func (d *delivery) finish() {
 }
 
 // deliver queues a frame into the receive ring, dropping on overflow.
+// The drop decision is made against the logical capacity, so lazy
+// physical growth is invisible to the protocol: the same frames are
+// dropped as with an eagerly allocated ring of ringCap slots.
 func (rx *NIC) deliver(f Frame) {
 	if rx.down {
 		return
 	}
-	if rx.count >= len(rx.ring) {
+	if rx.count >= rx.ringCap {
 		rx.drops++
 		return
 	}
+	if rx.count == len(rx.ring) {
+		rx.grow()
+	}
 	rx.ring[(rx.head+rx.count)%len(rx.ring)] = f
 	rx.count++
+	if rx.count > rx.highWater {
+		rx.highWater = rx.count
+	}
 	f.buf.refs++
 	if rx.intr != nil {
 		rx.intr()
 	}
+}
+
+// grow doubles the ring's physical storage (bounded by ringCap),
+// unwrapping the circular contents into FIFO order at the front of the
+// new array.
+func (rx *NIC) grow() {
+	size := 2 * len(rx.ring)
+	if size < 8 {
+		size = 8
+	}
+	if size > rx.ringCap {
+		size = rx.ringCap
+	}
+	grown := make([]Frame, size)
+	for i := 0; i < rx.count; i++ {
+		grown[i] = rx.ring[(rx.head+i)%len(rx.ring)]
+	}
+	rx.ring = grown
+	rx.head = 0
 }
 
 func (n *NIC) String() string {

@@ -240,3 +240,149 @@ func TestBridgeForwardingUnderOverflow(t *testing.T) {
 		t.Errorf("sink drops = %d, want %d", sink.Drops(), burst-p.RxRing)
 	}
 }
+
+// TestLazyRingGrowsOnDemand pins the physically-lazy ring: a deep drop
+// bound costs nothing until frames actually queue, the backing array
+// doubles as occupancy grows, FIFO order survives every growth unwrap,
+// and the logical capacity still bounds drops exactly.
+func TestLazyRingGrowsOnDemand(t *testing.T) {
+	p := DefaultParams()
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.AttachWithRing("rx", nil, 1024)
+	tx := bus.Attach("tx", nil)
+
+	// The bound is logical: nothing is allocated for an idle ring.
+	if rx.RingCap() != 1024 {
+		t.Fatalf("ring cap = %d, want 1024", rx.RingCap())
+	}
+	if got := rx.MemFootprint(); got > 512 {
+		t.Errorf("idle 1024-slot ring costs %d bytes, want O(struct) only", got)
+	}
+
+	// Fill past several doublings; count and order must be exact.
+	fill(k, tx, 100)
+	if rx.Pending() != 100 {
+		t.Fatalf("pending = %d, want 100", rx.Pending())
+	}
+	if rx.Drops() != 0 {
+		t.Fatalf("drops = %d below the bound, want 0", rx.Drops())
+	}
+	for i := 0; i < 100; i++ {
+		f, ok := rx.Recv()
+		if !ok {
+			t.Fatalf("ring underflow at %d", i)
+		}
+		if f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d payload = %d, want %d (FIFO broken by growth)", i, f.Payload[0], i)
+		}
+		rx.Release(f)
+	}
+}
+
+// TestLazyRingGrowthUnwrapsWrappedFIFO drives the nastiest growth case:
+// the ring grows while its contents wrap around the physical array, so
+// the copy must unwrap head..tail into the new array in order.
+func TestLazyRingGrowthUnwrapsWrappedFIFO(t *testing.T) {
+	p := DefaultParams()
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.AttachWithRing("rx", nil, 64)
+	tx := bus.Attach("tx", nil)
+
+	// Fill to the initial physical size (8), drain a few so head > 0,
+	// refill so the occupancy wraps, then overflow the physical array.
+	fill(k, tx, 8)
+	for i := 0; i < 5; i++ {
+		f, ok := rx.Recv()
+		if !ok || f.Payload[0] != byte(i) {
+			t.Fatalf("prefill drain %d: ok=%v", i, ok)
+		}
+		rx.Release(f)
+	}
+	fill(k, tx, 20) // wraps within 8 slots, then forces growth mid-wrap
+	// Expected FIFO: the three survivors of the first burst (5, 6, 7),
+	// then the second burst's 0..19 in send order.
+	want := []byte{5, 6, 7}
+	for i := byte(0); i < 20; i++ {
+		want = append(want, i)
+	}
+	for i, w := range want {
+		f, ok := rx.Recv()
+		if !ok {
+			t.Fatalf("ring underflow at %d", i)
+		}
+		if f.Payload[0] != w {
+			t.Fatalf("frame %d payload = %d, want %d (unwrap order broken)", i, f.Payload[0], w)
+		}
+		rx.Release(f)
+	}
+	if rx.Pending() != 0 {
+		t.Errorf("ring holds %d leftovers", rx.Pending())
+	}
+}
+
+// TestRingHighWaterTracksPeakOccupancy pins the fan-in measurement the
+// windowed tiers size their rings by: high water is the peak pending
+// count, monotone, capped by the logical capacity, and surfaced through
+// Bus.Stats as a max across NICs (never a sum).
+func TestRingHighWaterTracksPeakOccupancy(t *testing.T) {
+	p := DefaultParams()
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	rx := bus.AttachWithRing("rx", nil, 16)
+	quiet := bus.AttachWithRing("quiet", nil, 16)
+	tx := bus.Attach("tx", nil)
+
+	fill(k, tx, 10)
+	if hw := rx.RingHighWater(); hw != 10 {
+		t.Errorf("high water = %d after 10 queued, want 10", hw)
+	}
+	// Draining must not lower it; modest refills must not raise it.
+	for rx.Pending() > 0 {
+		f, _ := rx.Recv()
+		rx.Release(f)
+	}
+	for quiet.Pending() > 0 {
+		f, _ := quiet.Recv()
+		quiet.Release(f)
+	}
+	fill(k, tx, 3)
+	if hw := rx.RingHighWater(); hw != 10 {
+		t.Errorf("high water = %d after drain+3, want 10 (monotone peak)", hw)
+	}
+	// Overflow: occupancy can never exceed the bound, so neither can the
+	// peak.
+	fill(k, tx, 40)
+	if hw := rx.RingHighWater(); hw != 16 {
+		t.Errorf("high water = %d after overflow, want cap 16", hw)
+	}
+	if got := bus.Stats().RingHighWater; got != 16 {
+		t.Errorf("Stats().RingHighWater = %d, want max 16, not a sum", got)
+	}
+}
+
+// TestAttachWithRingRoleAwareSizing proves per-NIC bounds coexist on
+// one bus: a server with a deep ring absorbs a burst that a default
+// client ring drops, drop accounting stays per-NIC, and Attach remains
+// exactly AttachWithRing(default).
+func TestAttachWithRingRoleAwareSizing(t *testing.T) {
+	p := DefaultParams()
+	p.RxRing = 4
+	k := sim.New(1)
+	bus := NewBus(k, p)
+	server := bus.AttachWithRing("server", nil, 64)
+	client := bus.Attach("client", nil)
+	tx := bus.Attach("tx", nil)
+
+	if client.RingCap() != 4 {
+		t.Fatalf("Attach ring cap = %d, want params default 4", client.RingCap())
+	}
+	fill(k, tx, 20)
+	if server.Pending() != 20 || server.Drops() != 0 {
+		t.Errorf("server pending=%d drops=%d, want 20 and 0", server.Pending(), server.Drops())
+	}
+	if client.Pending() != 4 || client.Drops() != 16 {
+		t.Errorf("client pending=%d drops=%d, want 4 and 16", client.Pending(), client.Drops())
+	}
+}

@@ -166,9 +166,21 @@ func (t *Topology) Stats() Stats {
 		s.WireLost += bs.WireLost
 		s.RingDrops += bs.RingDrops
 		s.TxSuppressed += bs.TxSuppressed
+		if bs.RingHighWater > s.RingHighWater {
+			s.RingHighWater = bs.RingHighWater
+		}
 		s.BusyTime += bs.BusyTime
 	}
 	return s
+}
+
+// MemFootprint sums the structural memory footprint of every trunk.
+func (t *Topology) MemFootprint() uint64 {
+	var b uint64
+	for _, bus := range t.buses {
+		b += bus.MemFootprint()
+	}
+	return b
 }
 
 // BridgeStats sums the bridge counters over every bridge.

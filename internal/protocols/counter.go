@@ -410,6 +410,8 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 	r.NetBytes = ns.WireBytes
 	r.Packets = ns.Frames
 	r.RingDrops = ns.RingDrops
+	r.RingHighWater = ns.RingHighWater
+	r.MemBytes = w.MemFootprint()
 	r.TxSuppressed = ns.TxSuppressed
 	r.Events = w.EventsDispatched()
 	r.TrunkUtil, r.TrunkFrames = w.TrunkUtilization(r.Wall)

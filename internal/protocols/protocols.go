@@ -181,6 +181,13 @@ type Report struct {
 	Retries       uint64
 	DataFallbacks uint64
 	RingDrops     uint64
+	// RingHighWater is the deepest any NIC receive ring got (max over
+	// hosts, never summed): the measured fan-in bound that justifies a
+	// configured ring capacity.
+	RingHighWater int
+	// MemBytes is the world's structural memory footprint (see
+	// World.MemFootprint): deterministic, unlike runtime heap stats.
+	MemBytes uint64
 	// TxSuppressed counts sends swallowed because the transmitting NIC
 	// was down. Down-NIC scenarios used to lose these without a trace —
 	// the driver's send counters advanced while the wire counters did

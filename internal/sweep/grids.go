@@ -274,6 +274,29 @@ func ClusterGrid(o Options) []Scenario {
 	}
 	var out []Scenario
 	for _, h := range sizes {
+		// The 4096/10000-host windowed tier (reached via -hosts, e.g.
+		// `make cluster-xl`; never part of the default sizes, so bench
+		// records and -baseline grids stay comparable). Past ~4k hosts
+		// only the stationary workload's linear wire load stays tractable,
+		// and only with the flyweight knobs stacked: windowed working-set
+		// attach, lazy replica materialization, warm seeding, a staggered
+		// start so the first purges don't collide at t=0, and rx rings
+		// sized from the real fan-in (one sampler per owner plus reply and
+		// snoop slack — 64 slots, not 4×hosts). Iters=4 gives each host
+		// one forced neighbour sample (n%SampleEvery==SampleEvery-1 at
+		// n=3); the 500 ms retry lets a sample request dropped in a
+		// saturated owner's ring retry after the burst drains rather than
+		// the h-scaled formula's 20 s wait.
+		if h >= 4096 {
+			out = append(out, Scenario{
+				Name: "cluster/stationary/h" + fmt.Sprint(h) + suffix, Kind: KindStationary,
+				Hosts: h, Iters: 4, WarmStart: true, Windowed: true, Lazy: true,
+				Stagger: 200 * time.Microsecond, RingSlots: 64,
+				RetryTimeout: 500 * time.Millisecond,
+				Trunks:       forcedTrunks, Seed: o.Seed,
+			})
+			continue
+		}
 		// Per-host work scales down with cluster size; totals stay
 		// comparable across cells.
 		iters, phases := 16, 4
@@ -470,6 +493,14 @@ func SmokeGrid(o Options) []Scenario {
 		{Name: "smoke/stationary-t2", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2, Seed: o.Seed},
 		{Name: "smoke/stationary-t2-k3", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2,
 			Redundancy: 3, Seed: o.Seed},
+		// The windowed-tier smoke cell: the cluster grid's 4096-host
+		// flyweight configuration at Iters=1 (updates and purges, no
+		// forced samples), proving the sharded-directory + lazy-replica +
+		// windowed-attach path builds and runs a 4096-host world on every
+		// push. Same knobs as the cluster-xl tier, minus the work.
+		{Name: "smoke/stationary-h4096", Kind: KindStationary, Hosts: 4096, Iters: 1,
+			WarmStart: true, Windowed: true, Lazy: true, Stagger: 200 * time.Microsecond,
+			RingSlots: 64, RetryTimeout: 500 * time.Millisecond, Seed: o.Seed},
 	}
 }
 

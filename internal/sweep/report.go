@@ -36,6 +36,7 @@ var csvColumns = []string{
 	"lat_mean_ns", "lat_p50_ns", "lat_p90_ns", "lat_p99_ns", "lat_p999_ns",
 	"lat_max_ns", "lat_count",
 	"events",
+	"mem_bytes", "bytes_per_host", "ring_high_water",
 	"bridge_forwarded", "bridge_port_drops", "bridge_max_queued", "cross_trunk_stale",
 	"redundant_serves", "redundant_suppressed", "late_drops",
 	"deviations",
@@ -81,6 +82,9 @@ func (r Report) CSV() []byte {
 			strconv.FormatInt(s.LatP999NS, 10), strconv.FormatInt(s.LatMaxNS, 10),
 			strconv.FormatUint(s.LatCount, 10),
 			strconv.FormatUint(s.Events, 10),
+			strconv.FormatUint(s.MemBytes, 10),
+			f(s.BytesPerHost),
+			strconv.Itoa(s.RingHighWater),
 			strconv.FormatUint(s.BridgeForwarded, 10),
 			strconv.FormatUint(s.BridgePortDrops, 10),
 			strconv.Itoa(s.BridgeMaxQueued),

@@ -102,6 +102,17 @@ type Scenario struct {
 	// WarmStart seeds resident replicas before the run (1024-host tier:
 	// cold attach is an O(hosts³) request storm).
 	WarmStart bool
+	// The windowed-tier knobs (stationary only; the 4096/10000-host cells
+	// set all four, classic cells leave them zero): Windowed maps only
+	// each host's working set instead of the whole segment, Stagger
+	// offsets host i's start by i×Stagger so first purges don't collide
+	// at t=0, Lazy enables the driver's memory-lazy receive path
+	// (core.Config.LazyReplicas), and RingSlots replaces the uniform rx
+	// ring with a small fan-in-derived constant per NIC.
+	Windowed  bool
+	Stagger   time.Duration
+	Lazy      bool
+	RingSlots int
 
 	// Shared cost-model axes. KernelServer applies to counter, hotspot,
 	// barrier and stationary scenarios.
@@ -183,6 +194,18 @@ type Result struct {
 	// dispatched — deterministic like every other field; the engine
 	// throughput denominator for BENCH_sweep.json records.
 	Events uint64 `json:"events,omitempty"`
+
+	// MemBytes is the world's structural memory footprint (see
+	// World.MemFootprint): a deterministic walk of driver directories,
+	// frames, queues and NIC rings, not runtime heap statistics.
+	// BytesPerHost divides it by the cluster size — the scaling headline
+	// the flyweight tiers are measured by. RingHighWater is the deepest
+	// any NIC rx ring got (max over hosts), proving configured ring
+	// bounds out. All omitted when zero, keeping pre-existing baselines'
+	// gated metrics comparable.
+	MemBytes      uint64  `json:"mem_bytes,omitempty"`
+	BytesPerHost  float64 `json:"bytes_per_host,omitempty"`
+	RingHighWater int     `json:"ring_high_water,omitempty"`
 
 	// Topology measurements, all zero (and omitted, keeping single-trunk
 	// reports byte-identical to pre-topology baselines) on a single
@@ -347,6 +370,8 @@ func (s Scenario) Run() Result {
 		res.LatMaxNS = int64(r.LatMax)
 		res.LatCount = r.LatCount
 		res.Events = r.Events
+		res.MemBytes = r.MemBytes
+		res.RingHighWater = r.RingHighWater
 		res.RedundantServes = r.RedundantServes
 		res.RedundantSuppressed = r.RedundantSuppressed
 		res.LateDrops = r.LateDrops
@@ -412,7 +437,7 @@ func (s Scenario) Run() Result {
 		}
 		res.DNF = r.DNF
 		res.Ops = r.Updates
-		res.fillCluster(r.ClusterStats)
+		res.fillCluster(r.ClusterStats, s.Hosts)
 	case KindBarrier:
 		// HysteresisN doubles as the barrier waiter's purge hysteresis:
 		// large clusters need a high value so waiters ride the snoopy
@@ -431,7 +456,7 @@ func (s Scenario) Run() Result {
 		}
 		res.DNF = r.DNF
 		res.Ops = uint64(r.Phases)
-		res.fillCluster(r.ClusterStats)
+		res.fillCluster(r.ClusterStats, s.Hosts)
 	case KindPipeline:
 		r, err := workload.RunPipeline(workload.PipelineConfig{
 			Stages: s.Stages, Messages: s.Messages, Size: s.MsgSize,
@@ -444,13 +469,15 @@ func (s Scenario) Run() Result {
 		res.DNF = r.DNF
 		res.Ops = uint64(r.Delivered)
 		res.OpsPerSec = r.MsgsPerSec
-		res.fillCluster(r.ClusterStats)
+		res.fillCluster(r.ClusterStats, r.Stages)
 	case KindStationary:
 		r, err := workload.RunStationary(workload.StationaryConfig{
 			Hosts: s.Hosts, Iters: s.Iters, WarmStart: s.WarmStart,
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
+			WindowedAttach: s.Windowed, StaggerStart: s.Stagger,
+			LazyReplicas: s.Lazy, RingSlots: s.RingSlots, RetryTimeout: s.RetryTimeout,
 			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -459,15 +486,17 @@ func (s Scenario) Run() Result {
 		}
 		res.DNF = r.DNF
 		res.Ops = r.Updates
-		res.fillCluster(r.ClusterStats)
+		res.fillCluster(r.ClusterStats, s.Hosts)
 	default:
 		res.Err = fmt.Sprintf("sweep: unknown scenario kind %q", s.Kind)
 	}
 	return res
 }
 
-// fillCluster copies the shared cluster measurements into the result.
-func (r *Result) fillCluster(cs workload.ClusterStats) {
+// fillCluster copies the shared cluster measurements into the result;
+// hosts is the cluster size for the bytes-per-host division (the
+// pipeline kind passes its stage count — one host per stage).
+func (r *Result) fillCluster(cs workload.ClusterStats, hosts int) {
 	r.WallNS = int64(cs.Wall)
 	r.UserNS = int64(cs.UserCPU)
 	r.SysNS = int64(cs.SysCPU)
@@ -483,6 +512,11 @@ func (r *Result) fillCluster(cs workload.ClusterStats) {
 	r.LatMaxNS = int64(cs.LatMax)
 	r.LatCount = cs.LatCount
 	r.Events = cs.Events
+	r.MemBytes = cs.MemBytes
+	r.RingHighWater = cs.RingHighWater
+	if hosts > 0 && cs.MemBytes > 0 {
+		r.BytesPerHost = float64(cs.MemBytes) / float64(hosts)
+	}
 	r.RedundantServes = cs.RedundantServes
 	r.RedundantSuppressed = cs.RedundantSuppressed
 	r.LateDrops = cs.LateDrops

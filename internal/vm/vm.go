@@ -34,14 +34,53 @@ func CheckRange(off, size, limit int) error {
 	return nil
 }
 
+// zeroPage is the canonical all-zero page every untouched Frame shares.
+// Region and RestRegion alias it for frames whose backing tier does not
+// cover the requested range yet; callers honour the Region contract
+// (read/encode only, never write through the slice), so one page serves
+// every zero replica in the world.
+var zeroPage [PageSize]byte
+
 // Frame is the backing store for one page on one host. The first
 // ShortSize bytes are the short page; the rest is the "superset"
 // remainder. Gen is a logical version that increases with every mutation
 // and rides along on the wire so receivers can discard stale refreshes.
+//
+// Storage is a flyweight: data holds one of three tiers — nil (the page
+// has never been written here; every byte reads as zero), ShortSize
+// (only the short region has been touched), or PageSize (full page).
+// Reads beyond the current tier zero-extend without allocating; writes
+// grow the tier to cover the touched range, at most twice over a
+// frame's lifetime. A replica seeded but never written therefore costs
+// zero page bytes, which is what lets 10k-host worlds fit in memory.
 type Frame struct {
-	data [PageSize]byte
+	data []byte // len 0, ShortSize or PageSize
 	gen  uint64
 }
+
+// ensure grows the backing store to at least n bytes (ShortSize or
+// PageSize), preserving contents and zero-filling the extension.
+func (f *Frame) ensure(n int) {
+	if len(f.data) >= n {
+		return
+	}
+	grown := make([]byte, n)
+	copy(grown, f.data)
+	f.data = grown
+}
+
+// tierFor returns the smallest tier covering bytes [0, end).
+func tierFor(end int) int {
+	if end <= ShortSize {
+		return ShortSize
+	}
+	return PageSize
+}
+
+// Tier returns the frame's current backing size in bytes: 0, ShortSize
+// or PageSize. Diagnostic (memory accounting); not part of the paging
+// protocol.
+func (f *Frame) Tier() int { return len(f.data) }
 
 // Gen returns the frame's current generation.
 func (f *Frame) Gen() uint64 { return f.gen }
@@ -50,20 +89,31 @@ func (f *Frame) Gen() uint64 { return f.gen }
 func (f *Frame) SetGen(g uint64) { f.gen = g }
 
 // Load reads an unsigned little-endian integer of size 1, 2, 4 or 8
-// bytes at off.
+// bytes at off. Bytes beyond the current backing tier read as zero.
 func (f *Frame) Load(off, size int) (uint64, error) {
 	if err := CheckRange(off, size, PageSize); err != nil {
 		return 0, err
 	}
+	src := f.data
+	if off+size > len(src) {
+		// The access reaches past the backing tier: assemble from the
+		// stored prefix (possibly empty) plus implicit zeros.
+		var buf [8]byte
+		if off < len(src) {
+			copy(buf[:], src[off:])
+		}
+		src = buf[:]
+		off = 0
+	}
 	switch size {
 	case 1:
-		return uint64(f.data[off]), nil
+		return uint64(src[off]), nil
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(f.data[off:])), nil
+		return uint64(binary.LittleEndian.Uint16(src[off:])), nil
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(f.data[off:])), nil
+		return uint64(binary.LittleEndian.Uint32(src[off:])), nil
 	case 8:
-		return binary.LittleEndian.Uint64(f.data[off:]), nil
+		return binary.LittleEndian.Uint64(src[off:]), nil
 	default:
 		return 0, fmt.Errorf("%w: unsupported size %d", ErrBadAccess, size)
 	}
@@ -76,6 +126,12 @@ func (f *Frame) Store(off, size int, v uint64) error {
 		return err
 	}
 	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("%w: unsupported size %d", ErrBadAccess, size)
+	}
+	f.ensure(tierFor(off + size))
+	switch size {
 	case 1:
 		f.data[off] = byte(v)
 	case 2:
@@ -84,19 +140,24 @@ func (f *Frame) Store(off, size int, v uint64) error {
 		binary.LittleEndian.PutUint32(f.data[off:], uint32(v))
 	case 8:
 		binary.LittleEndian.PutUint64(f.data[off:], v)
-	default:
-		return fmt.Errorf("%w: unsupported size %d", ErrBadAccess, size)
 	}
 	f.gen++
 	return nil
 }
 
-// ReadBytes copies len(dst) bytes starting at off into dst.
+// ReadBytes copies len(dst) bytes starting at off into dst; bytes beyond
+// the current backing tier read as zero.
 func (f *Frame) ReadBytes(off int, dst []byte) error {
 	if err := CheckRange(off, len(dst), PageSize); err != nil {
 		return err
 	}
-	copy(dst, f.data[off:])
+	n := 0
+	if off < len(f.data) {
+		n = copy(dst, f.data[off:])
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
 	return nil
 }
 
@@ -105,6 +166,7 @@ func (f *Frame) WriteBytes(off int, src []byte) error {
 	if err := CheckRange(off, len(src), PageSize); err != nil {
 		return err
 	}
+	f.ensure(tierFor(off + len(src)))
 	copy(f.data[off:], src)
 	f.gen++
 	return nil
@@ -113,17 +175,41 @@ func (f *Frame) WriteBytes(off int, src []byte) error {
 // Region returns the frame contents without copying: the short region
 // if short is true, otherwise the whole page. The slice aliases the
 // frame's storage — callers must copy (or encode) it before the frame
-// can next be mutated; use Snapshot when a durable copy is needed.
+// can next be mutated, and must never write through it; use Snapshot
+// when a durable copy is needed. When the backing tier does not cover
+// the requested region the frame is untouched there, so the canonical
+// zero page is aliased instead of growing the tier: sending a zero
+// replica's contents costs no allocation.
 func (f *Frame) Region(short bool) []byte {
 	if short {
-		return f.data[:ShortSize]
+		if len(f.data) >= ShortSize {
+			return f.data[:ShortSize]
+		}
+		return zeroPage[:ShortSize]
 	}
-	return f.data[:]
+	if len(f.data) == PageSize {
+		return f.data
+	}
+	if len(f.data) == 0 {
+		return zeroPage[:]
+	}
+	// Short tier with a full-page region requested: the stored short
+	// bytes and the zero remainder live in different arrays, so this is
+	// the one case that must materialize the full tier.
+	f.ensure(PageSize)
+	return f.data
 }
 
 // RestRegion returns the superset remainder [ShortSize, PageSize)
-// without copying; the same aliasing caveat as Region applies.
-func (f *Frame) RestRegion() []byte { return f.data[ShortSize:] }
+// without copying; the same aliasing caveats as Region apply. A frame
+// whose tier stops at or before the short region aliases the canonical
+// zero page.
+func (f *Frame) RestRegion() []byte {
+	if len(f.data) == PageSize {
+		return f.data[ShortSize:]
+	}
+	return zeroPage[ShortSize:]
+}
 
 // Snapshot returns a copy of the frame contents: the short region if
 // short is true, otherwise the whole page.
@@ -133,7 +219,7 @@ func (f *Frame) Snapshot(short bool) []byte {
 		n = ShortSize
 	}
 	out := make([]byte, n)
-	copy(out, f.data[:n])
+	copy(out, f.data)
 	return out
 }
 
@@ -141,7 +227,9 @@ func (f *Frame) Snapshot(short bool) []byte {
 // [ShortSize, PageSize).
 func (f *Frame) SnapshotRest() []byte {
 	out := make([]byte, PageSize-ShortSize)
-	copy(out, f.data[ShortSize:])
+	if len(f.data) > ShortSize {
+		copy(out, f.data[ShortSize:])
+	}
 	return out
 }
 
@@ -151,7 +239,8 @@ func (f *Frame) Install(data []byte, gen uint64) error {
 	if len(data) != ShortSize && len(data) != PageSize {
 		return fmt.Errorf("%w: install length %d", ErrBadAccess, len(data))
 	}
-	copy(f.data[:len(data)], data)
+	f.ensure(len(data))
+	copy(f.data, data)
 	f.gen = gen
 	return nil
 }
@@ -162,6 +251,7 @@ func (f *Frame) InstallRest(data []byte) error {
 	if len(data) != PageSize-ShortSize {
 		return fmt.Errorf("%w: rest length %d", ErrBadAccess, len(data))
 	}
+	f.ensure(PageSize)
 	copy(f.data[ShortSize:], data)
 	return nil
 }

@@ -80,18 +80,27 @@ func TestUnsupportedSize(t *testing.T) {
 	if err := f.Store(0, 5, 1); !errors.Is(err, ErrBadAccess) {
 		t.Errorf("Store size 5: err = %v, want ErrBadAccess", err)
 	}
+	if f.Tier() != 0 {
+		t.Errorf("rejected store grew the tier to %d", f.Tier())
+	}
 }
 
 func TestSnapshotInstallShort(t *testing.T) {
 	var src Frame
 	for i := 0; i < ShortSize; i++ {
-		src.data[i] = byte(i + 1)
+		if err := src.Store(i, 1, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	src.data[ShortSize] = 0xFF // beyond short region
-	src.gen = 10
+	if err := src.Store(ShortSize, 1, 0xFF); err != nil { // beyond short region
+		t.Fatal(err)
+	}
+	src.SetGen(10)
 
 	var dst Frame
-	dst.data[ShortSize] = 0x55
+	if err := dst.Store(ShortSize, 1, 0x55); err != nil {
+		t.Fatal(err)
+	}
 	snap := src.Snapshot(true)
 	if len(snap) != ShortSize {
 		t.Fatalf("short snapshot length %d", len(snap))
@@ -99,10 +108,10 @@ func TestSnapshotInstallShort(t *testing.T) {
 	if err := dst.Install(snap, src.Gen()); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(dst.data[:ShortSize], src.data[:ShortSize]) {
+	if !bytes.Equal(dst.Snapshot(true), src.Snapshot(true)) {
 		t.Error("short region not installed")
 	}
-	if dst.data[ShortSize] != 0x55 {
+	if v, _ := dst.Load(ShortSize, 1); v != 0x55 {
 		t.Error("install of short snapshot touched superset remainder")
 	}
 	if dst.Gen() != 10 {
@@ -112,15 +121,21 @@ func TestSnapshotInstallShort(t *testing.T) {
 
 func TestSnapshotInstallFull(t *testing.T) {
 	var src Frame
-	src.data[0] = 1
-	src.data[PageSize-1] = 2
-	src.gen = 3
+	if err := src.Store(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Store(PageSize-1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
 	var dst Frame
 	if err := dst.Install(src.Snapshot(false), src.Gen()); err != nil {
 		t.Fatal(err)
 	}
-	if dst.data[0] != 1 || dst.data[PageSize-1] != 2 {
-		t.Error("full install did not copy entire page")
+	if v, _ := dst.Load(0, 1); v != 1 {
+		t.Error("full install did not copy page start")
+	}
+	if v, _ := dst.Load(PageSize-1, 1); v != 2 {
+		t.Error("full install did not copy page end")
 	}
 }
 
@@ -128,25 +143,36 @@ func TestSnapshotIsACopy(t *testing.T) {
 	var f Frame
 	snap := f.Snapshot(true)
 	snap[0] = 0xEE
-	if f.data[0] != 0 {
+	if v, _ := f.Load(0, 1); v != 0 {
 		t.Error("snapshot aliases frame storage")
 	}
 }
 
 func TestRestSnapshotInstall(t *testing.T) {
 	var src Frame
-	src.data[ShortSize] = 9
-	src.data[PageSize-1] = 8
-	src.data[0] = 7
+	if err := src.Store(ShortSize, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Store(PageSize-1, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Store(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
 	var dst Frame
-	dst.data[0] = 1
+	if err := dst.Store(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
 	if err := dst.InstallRest(src.SnapshotRest()); err != nil {
 		t.Fatal(err)
 	}
-	if dst.data[ShortSize] != 9 || dst.data[PageSize-1] != 8 {
+	if v, _ := dst.Load(ShortSize, 1); v != 9 {
 		t.Error("rest not installed")
 	}
-	if dst.data[0] != 1 {
+	if v, _ := dst.Load(PageSize-1, 1); v != 8 {
+		t.Error("rest not installed to page end")
+	}
+	if v, _ := dst.Load(0, 1); v != 1 {
 		t.Error("InstallRest touched the short region")
 	}
 }
@@ -158,6 +184,88 @@ func TestInstallRejectsBadLengths(t *testing.T) {
 	}
 	if err := f.InstallRest(make([]byte, 10)); !errors.Is(err, ErrBadAccess) {
 		t.Errorf("InstallRest(10 bytes) err = %v, want ErrBadAccess", err)
+	}
+}
+
+// The flyweight tiers: an untouched frame stores nothing, a short-region
+// write grows it to the short tier, and only a write past ShortSize pays
+// for the full page.
+func TestFlyweightTierGrowth(t *testing.T) {
+	var f Frame
+	if f.Tier() != 0 {
+		t.Fatalf("fresh frame tier = %d, want 0", f.Tier())
+	}
+	if v, err := f.Load(PageSize-8, 8); err != nil || v != 0 {
+		t.Fatalf("zero-extended read = %d, %v", v, err)
+	}
+	if f.Tier() != 0 {
+		t.Fatalf("read grew tier to %d", f.Tier())
+	}
+	if err := f.Store(0, 4, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tier() != ShortSize {
+		t.Fatalf("short write tier = %d, want %d", f.Tier(), ShortSize)
+	}
+	if v, _ := f.Load(ShortSize, 8); v != 0 {
+		t.Errorf("rest of short-tier frame reads %d, want 0", v)
+	}
+	if err := f.Store(PageSize-4, 4, 0xBB); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tier() != PageSize {
+		t.Fatalf("full write tier = %d, want %d", f.Tier(), PageSize)
+	}
+	if v, _ := f.Load(0, 4); v != 0xAA {
+		t.Errorf("tier growth lost the short bytes: %#x", v)
+	}
+}
+
+// Region of an untouched frame aliases the canonical zero page rather
+// than allocating, and stays all-zero.
+func TestRegionOfUntouchedFrameIsZeroAlias(t *testing.T) {
+	var f Frame
+	full := f.Region(false)
+	if len(full) != PageSize {
+		t.Fatalf("full region length %d", len(full))
+	}
+	for i, b := range full {
+		if b != 0 {
+			t.Fatalf("byte %d of zero region = %#x", i, b)
+		}
+	}
+	if f.Tier() != 0 {
+		t.Errorf("Region materialized tier %d on an untouched frame", f.Tier())
+	}
+	short := f.Region(true)
+	if len(short) != ShortSize {
+		t.Fatalf("short region length %d", len(short))
+	}
+	rest := f.RestRegion()
+	if len(rest) != PageSize-ShortSize {
+		t.Fatalf("rest region length %d", len(rest))
+	}
+}
+
+// A short-tier frame asked for its full-page region must materialize the
+// full tier (the stored short bytes and the zero remainder cannot alias
+// two different arrays) and preserve contents.
+func TestRegionPromotesShortTier(t *testing.T) {
+	var f Frame
+	if err := f.Store(0, 4, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	full := f.Region(false)
+	if f.Tier() != PageSize {
+		t.Fatalf("tier after full Region = %d, want %d", f.Tier(), PageSize)
+	}
+	if got := uint64(full[0]) | uint64(full[1])<<8; got != 0x1234 {
+		t.Errorf("promoted region lost short bytes: %#x", got)
+	}
+	for i := ShortSize; i < PageSize; i++ {
+		if full[i] != 0 {
+			t.Fatalf("promoted region byte %d = %#x, want 0", i, full[i])
+		}
 	}
 }
 
@@ -192,7 +300,14 @@ func TestSplitReassemblyProperty(t *testing.T) {
 	prop := func(seed []byte) bool {
 		var src Frame
 		for i, b := range seed {
-			src.data[(i*37)%PageSize] ^= b
+			off := (i * 37) % PageSize
+			old, err := src.Load(off, 1)
+			if err != nil {
+				return false
+			}
+			if err := src.Store(off, 1, old^uint64(b)); err != nil {
+				return false
+			}
 		}
 		var dst Frame
 		if err := dst.Install(src.Snapshot(true), 1); err != nil {
@@ -201,7 +316,7 @@ func TestSplitReassemblyProperty(t *testing.T) {
 		if err := dst.InstallRest(src.SnapshotRest()); err != nil {
 			return false
 		}
-		return bytes.Equal(dst.data[:], src.data[:])
+		return bytes.Equal(dst.Snapshot(false), src.Snapshot(false))
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)

@@ -63,6 +63,14 @@ type ClusterStats struct {
 	// the classic single-trunk worlds.
 	TrunkUtil   []float64
 	TrunkFrames []uint64
+	// MemBytes is the world's structural memory footprint after the run
+	// (World.MemFootprint): a deterministic walk of directory shards,
+	// frame tiers, rings and pools, not a runtime heap reading.
+	MemBytes uint64
+	// RingHighWater is the peak NIC receive-ring occupancy anywhere in
+	// the world — the measured fan-in that justifies (or indicts) the
+	// configured ring capacities.
+	RingHighWater int
 }
 
 // collectCluster harvests ClusterStats from a finished world. extra is
@@ -85,7 +93,9 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	ns := w.NetStats()
 	cs.WireBytes = ns.WireBytes
 	cs.Packets = ns.Frames
+	cs.RingHighWater = ns.RingHighWater
 	cs.Events = w.EventsDispatched()
+	cs.MemBytes = w.MemFootprint()
 	bs := w.BridgeStats()
 	cs.BridgeForwarded = bs.Forwarded
 	cs.BridgePortDrops = bs.PortDrops
@@ -452,12 +462,17 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 
 	done := make([]bool, cfg.Hosts)
 	errs := make([]error, cfg.Hosts)
-	waitHist := make([]stats.Histogram, cfg.Hosts)
+	// One histogram streamed into by every host: the simulation kernel
+	// serializes processes, and histogram observation is commutative, so
+	// the shared instance ends bit-identical to the former per-host
+	// slice-then-merge — without retaining hosts × histogram copies for
+	// the length of the run.
+	var waitHist stats.Histogram
 	var lastFinish time.Duration
 	for i := 0; i < cfg.Hosts; i++ {
 		i := i
 		w.Spawn(i, fmt.Sprintf("bsp%d", i), func(env *mether.Env) {
-			errs[i] = barrierClient(env, capRW, cfg, i, work[i], &waitHist[i])
+			errs[i] = barrierClient(env, capRW, cfg, i, work[i], &waitHist)
 			if errs[i] == nil {
 				done[i] = true
 				if t := env.Now(); t > lastFinish {
@@ -479,11 +494,7 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 			lastFinish = w.Now()
 		}
 	}
-	var lat stats.Histogram
-	for i := range waitHist {
-		lat.Merge(&waitHist[i])
-	}
-	r.ClusterStats = collectCluster(w, lastFinish, &lat)
+	r.ClusterStats = collectCluster(w, lastFinish, &waitHist)
 	return r, nil
 }
 

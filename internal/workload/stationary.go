@@ -61,8 +61,41 @@ type StationaryConfig struct {
 	// demand fetch additionally names the k-1 nearest replicas, any of
 	// which may answer first — the tail-latency-for-wire-bytes trade.
 	Redundancy int
-	Seed       int64
-	Cap        time.Duration
+	// RetryTimeout overrides the driver's demand-retransmit interval
+	// (zero = the 250 ms default). The windowed tiers widen it: with
+	// RingSlots-bounded rings a sample request can land in a saturated
+	// owner's drop window, and the retry should arrive after the burst
+	// drains, not join it.
+	RetryTimeout time.Duration
+	// WindowedAttach maps only each host's working set — its own page
+	// and its sampled neighbour's page — instead of the whole segment.
+	// The classic full attach maps hosts × pages states (quadratic) for
+	// a workload that touches two pages per host; the 4096/10000-host
+	// tiers require the window.
+	WindowedAttach bool
+	// StaggerStart delays host i's start by i×StaggerStart, spreading
+	// the update broadcasts across virtual time instead of colliding
+	// every host's first purge at t=0. On a warm world the attach itself
+	// costs no virtual time, so the stagger is pure offset, not hidden
+	// work.
+	StaggerStart time.Duration
+	// LazyReplicas enables the driver's memory-lazy receive path
+	// (core.Config.LazyReplicas): snooped broadcasts for pages a host
+	// never touched are counted and skipped instead of materializing
+	// per-page state. Only the windowed tiers set it — the classic warm
+	// cells measure refresh effects on exactly those untouched replicas.
+	LazyReplicas bool
+	// RingSlots bounds every NIC's logical receive ring when positive,
+	// replacing the uniform NetParams.RxRing. The stationary fan-in
+	// model: each host's page has exactly one sampler, so an owner must
+	// absorb that sampler's request plus its own replies — a handful of
+	// frames — and everything beyond is droppable snoop backlog. The
+	// windowed tiers derive a small constant from that model (see
+	// ClusterGrid) instead of the old 4×hosts worst case, and the
+	// reported ring high-water proves the bound out.
+	RingSlots int
+	Seed      int64
+	Cap       time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -120,10 +153,18 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
 		},
 	}
-	if cfg.KernelServer || cfg.Redundancy > 1 {
+	if cfg.KernelServer || cfg.Redundancy > 1 || cfg.LazyReplicas || cfg.RetryTimeout > 0 {
 		wcfg.Core = core.DefaultConfig(pages)
 		wcfg.Core.KernelServer = cfg.KernelServer
 		wcfg.Core.Redundancy = cfg.Redundancy
+		wcfg.Core.LazyReplicas = cfg.LazyReplicas
+		if cfg.RetryTimeout > 0 {
+			wcfg.Core.RetryTimeout = cfg.RetryTimeout
+		}
+	}
+	if cfg.RingSlots > 0 {
+		ring := cfg.RingSlots
+		wcfg.RingOf = func(int) int { return ring }
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()
@@ -147,12 +188,24 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	for i := 0; i < cfg.Hosts; i++ {
 		i := i
 		w.Spawn(i, fmt.Sprintf("stat%d", i), func(env *mether.Env) {
-			own, err := env.Attach(capRW, mether.RW)
-			if err != nil {
-				errs[i] = err
-				return
+			if cfg.StaggerStart > 0 {
+				env.SleepFor(time.Duration(i) * cfg.StaggerStart)
 			}
-			peers, err := env.Attach(capRW.ReadOnly(), mether.RO)
+			var own, peers *mether.Mapping
+			var err error
+			if cfg.WindowedAttach {
+				// Working-set attach: this host touches its own page and
+				// its ring neighbour's, nothing else.
+				own, err = env.AttachPages(capRW, mether.RW, i)
+				if err == nil {
+					peers, err = env.AttachPages(capRW.ReadOnly(), mether.RO, (i+1)%cfg.Hosts)
+				}
+			} else {
+				own, err = env.Attach(capRW, mether.RW)
+				if err == nil {
+					peers, err = env.Attach(capRW.ReadOnly(), mether.RO)
+				}
+			}
 			if err != nil {
 				errs[i] = err
 				return

@@ -122,11 +122,13 @@ func (s *Segment) Name() string { return s.name }
 // fetches, which keeps large-cluster world setup linear instead of
 // cubic in host count (each cold fetch is a broadcast request that
 // every host must ingest).
+// Seeding records one page range per driver (core.SeedReplicaRange)
+// and applies it lazily as pages materialize, so warming a segment is
+// O(hosts), not O(hosts × pages) — at the 10k-host tier the difference
+// is a hundred million page records that never get built.
 func (s *Segment) WarmReplicas() {
 	for _, d := range s.w.drivers {
-		for i := 0; i < s.pages; i++ {
-			d.SeedReplica(s.base + vm.PageID(i))
-		}
+		d.SeedReplicaRange(s.base, s.base+vm.PageID(s.pages))
 	}
 }
 

@@ -93,6 +93,14 @@ type Config struct {
 	// Topology parameterizes the bridges (shape, store-and-forward
 	// delay, backlogs, per-port loss); ignored when Trunks <= 1.
 	Topology ethernet.TopologyConfig
+	// RingOf sizes host i's NIC receive ring, overriding the uniform
+	// NetParams.RxRing when non-nil. Only hosts that see fan-in bursts
+	// (segment owners, servers) need deep rings; role-aware sizing keeps
+	// ring memory proportional to real fan-in instead of paying the
+	// worst case times the host count. The rings are also physically
+	// lazy (ethernet.AttachWithRing), so the returned value is a drop
+	// bound, not an allocation.
+	RingOf func(host int) int
 }
 
 func (c Config) withDefaults() Config {
@@ -143,11 +151,15 @@ func NewWorld(cfg Config) *World {
 		k:    sim.New(cfg.Seed),
 		segs: make(map[string]*Segment),
 	}
-	// Size the kernel's same-instant run queue for the cluster up front:
-	// wakeup bursts (a broadcast waking a waiter per host) scale with
-	// host count, and pre-sizing keeps steady-state dispatch free of
-	// ring-doubling copies.
-	w.k.ReserveRunq(8 * cfg.Hosts)
+	// Size the kernel's same-instant run queue from the fan-in model:
+	// the widest same-instant burst is a broadcast delivery, which wakes
+	// at most one interrupt-coalesced server per host, plus a small
+	// constant for timers and the handful of client wakeups any single
+	// event can produce. Invariant: reserve >= Hosts + O(1); anything
+	// more is dead capacity (the old blanket 8× over-reserved every
+	// world), anything less only costs a doubling copy, never
+	// correctness.
+	w.k.ReserveRunq(cfg.Hosts + 16)
 	coreCfg := cfg.Core
 	// The drivers learn the cluster size for redundant-fetch target
 	// selection (a no-op at the default Redundancy of 0/1).
@@ -193,7 +205,11 @@ func NewWorld(cfg Config) *World {
 		if w.topo != nil {
 			bus = w.topo.Bus(w.trunkOf[i])
 		}
-		nic := bus.Attach(h.Name(), func() { d.FrameArrived() })
+		ring := cfg.NetParams.RxRing
+		if cfg.RingOf != nil {
+			ring = cfg.RingOf(i)
+		}
+		nic := bus.AttachWithRing(h.Name(), func() { d.FrameArrived() }, ring)
 		d = core.New(h, nic, coreCfg)
 		d.StartServer()
 		w.hosts = append(w.hosts, h)
@@ -324,6 +340,29 @@ func (w *World) TrunkUtilization(wall time.Duration) ([]float64, []uint64) {
 		frames = append(frames, ts.Frames)
 	}
 	return util, frames
+}
+
+// MemFootprint returns the world's structural memory footprint in
+// bytes: every driver's directory/frame/queue walk plus the network's
+// rings and pools. It is a deterministic function of simulated
+// behaviour — identical across runs, GC timing and sweep worker counts
+// — which is why reports carry it instead of runtime heap statistics
+// (those are polluted by whatever else shares the process, including
+// parallel sweep workers). Monotone structures only: the walk counts
+// peak-shaped capacity (rings, pools, tiers never shrink), so it is a
+// resident-footprint measure, not an instantaneous live-byte count.
+func (w *World) MemFootprint() uint64 {
+	var b uint64
+	for _, d := range w.drivers {
+		b += d.MemFootprint()
+	}
+	if w.topo != nil {
+		b += w.topo.MemFootprint()
+	} else {
+		b += w.bus.MemFootprint()
+	}
+	b += uint64(len(w.trunkOf)) * 8
+	return b
 }
 
 // EventsDispatched returns the number of simulation-kernel events
