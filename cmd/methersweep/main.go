@@ -45,6 +45,7 @@ var (
 	flagOnly      = flag.String("only", "", "run only the scenarios whose name contains this substring (profiling a single cell)")
 	flagTrunks    = flag.Int("trunks", 0, "restrict the cluster grid's topology axis: 0 = full grid, 1 = classic single-trunk cells only (baseline comparisons), N>1 = every base cell on N bridged trunks")
 	flagRedund    = flag.Int("redundancy", 0, "force redundant-fetch fan-out k onto every cluster cell: 0 = default grid (explicit k cells), 1 = classic owner-only, N>1 = every read fault asks the owner plus N-1 replicas")
+	flagFaults    = flag.String("faults", "on", "cluster-grid fault cells: on = include, off = exact healthy grid (baseline comparisons), or a schedule spec like crash@150ms:h3;recover@400ms:h3 run as one extra stationary cell")
 	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
 	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
 	flagBaseline  = flag.String("baseline", "", "JSON report to compare against")
@@ -139,7 +140,7 @@ func main() {
 	if *flagRedund < 0 || *flagRedund > proto.MaxRedundantTargets+1 {
 		fatal(fmt.Errorf("-redundancy %d out of range (0..%d)", *flagRedund, proto.MaxRedundantTargets+1))
 	}
-	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks, Redundancy: *flagRedund})
+	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks, Redundancy: *flagRedund, Faults: *flagFaults})
 	if err != nil {
 		fatal(err)
 	}

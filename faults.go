@@ -1,0 +1,119 @@
+package mether
+
+import (
+	"fmt"
+
+	"mether/internal/fault"
+	"mether/internal/vm"
+)
+
+// This file executes internal/fault schedules against a World: host
+// crash and recovery, bridge partition and heal, and owner migration
+// become first-class kernel events installed before the run starts.
+// The schedule is pure data and every event runs at its virtual time
+// under the seeded kernel, so a faulted run is byte-identical across
+// runs and sweep worker counts — and an empty schedule is a provable
+// no-op (InjectFaults installs nothing).
+
+// FaultSchedule aliases the internal schedule type so callers outside
+// this module can build schedules (the alias makes the internal type
+// nameable; its chainable builders work through it) without importing
+// an internal package.
+type FaultSchedule = fault.Schedule
+
+// ParseFaults parses the textual schedule syntax used by methersweep's
+// -faults flag, e.g. "crash@8s:h17;recover@12s:h17;partition@20s:b0".
+func ParseFaults(spec string) (FaultSchedule, error) { return fault.Parse(spec) }
+
+// InjectFaults validates the schedule against this world's shape and
+// installs its events on the kernel. Call before Run; the events fire
+// at their virtual times in schedule order (ties keep listed order).
+func (w *World) InjectFaults(s FaultSchedule) error {
+	if s.Empty() {
+		return nil
+	}
+	bridges := 0
+	if w.topo != nil {
+		bridges = len(w.topo.Bridges())
+	}
+	if err := s.Validate(len(w.hosts), bridges); err != nil {
+		return err
+	}
+	for _, e := range s.Sorted() {
+		ev := e
+		w.k.At(ev.At, "fault "+ev.Kind.String(), func() { w.applyFault(ev) })
+	}
+	return nil
+}
+
+func (w *World) applyFault(e fault.Event) {
+	switch e.Kind {
+	case fault.Crash:
+		w.CrashHost(e.Host)
+	case fault.Recover:
+		w.RecoverHost(e.Host)
+	case fault.Partition:
+		w.PartitionBridge(e.Bridge)
+	case fault.Heal:
+		w.HealBridge(e.Bridge)
+	case fault.Migrate:
+		w.MigrateHost(e.Host, e.Dest)
+	}
+}
+
+// CrashHost crashes a host now: NIC down, driver state lost, client
+// processes left to re-fault (core.Driver.Crash). Idempotent while
+// down.
+func (w *World) CrashHost(hostIdx int) { w.drivers[hostIdx].Crash() }
+
+// RecoverHost brings a crashed host back; it re-joins cold through the
+// lazy directory attach path. A no-op if the host is up.
+func (w *World) RecoverHost(hostIdx int) { w.drivers[hostIdx].Recover() }
+
+// PartitionBridge takes one of the topology's bridges down, splitting
+// the extended LAN; buffered and in-flight bridge frames are dropped
+// (BridgeStats.PartitionDrops), never replayed after a heal.
+func (w *World) PartitionBridge(bridge int) {
+	if w.topo == nil {
+		panic(fmt.Sprintf("mether: partition of bridge %d in a single-trunk world", bridge))
+	}
+	w.topo.Bridges()[bridge].SetPartitioned(true)
+}
+
+// HealBridge brings a partitioned bridge back up.
+func (w *World) HealBridge(bridge int) {
+	if w.topo == nil {
+		panic(fmt.Sprintf("mether: heal of bridge %d in a single-trunk world", bridge))
+	}
+	w.topo.Bridges()[bridge].SetPartitioned(false)
+}
+
+// MigrateHost re-homes every page authority resident on src to dst,
+// shipping the resident working set MOSIX-style (core.Driver.MigrateTo).
+// Returns the number of authorities moved (0 if either end is down).
+func (w *World) MigrateHost(src, dst int) int {
+	return w.drivers[src].MigrateTo(w.drivers[dst])
+}
+
+// OrphanedPages counts created pages that currently have no consistent
+// copy anywhere in the cluster — authority lost to a crash and not (or
+// not yet) re-claimed. The walk peeks materialized state only, so it
+// never perturbs the directories it inspects. Fault workloads assert
+// this returns zero at end of run: every crashed owner's pages must
+// have been re-claimed.
+func (w *World) OrphanedPages() int {
+	orphans := 0
+	for pg := 0; pg < int(w.nextPage); pg++ {
+		owned := false
+		for _, d := range w.drivers {
+			if d.OwnsPage(vm.PageID(pg)) {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			orphans++
+		}
+	}
+	return orphans
+}

@@ -153,6 +153,15 @@ func (d *Driver) noteTransit(id vm.PageID) {
 	d.transits[id>>6] |= 1 << (id & 63)
 }
 
+// OwnsPage reports whether this host currently holds the page's
+// consistent copy. It peeks — an unmaterialized entry holds no
+// authority by construction — so orphan scans never perturb the
+// directory they inspect.
+func (d *Driver) OwnsPage(id vm.PageID) bool {
+	st := d.peek(id)
+	return st != nil && st.owner
+}
+
 // MemFootprint returns the driver's structural memory footprint in
 // bytes: directory shards, page-frame backing tiers, queues, caches and
 // scratch buffers. It is a deterministic walk of sizes the driver's own

@@ -79,6 +79,17 @@ type Config struct {
 	// nearest-first target ordering. Nil falls back to 0 (same trunk) /
 	// 1 (different trunk) derived from TrunkOf.
 	TrunkHops func(a, b int) int
+	// ClaimRetries arms orphaned-ownership recovery: after this many
+	// consecutive unanswered retries (the owner has stopped answering —
+	// it crashed and its authority is orphaned), the requester claims the
+	// page, self-minting ownership at a bumped generation and
+	// broadcasting the claim. 0 (the default) disables claiming, which
+	// keeps every healthy-world cell byte-identical; fault worlds whose
+	// schedule can orphan authority turn it on. Worlds that partition
+	// must leave it off: a requester cut off by a bridge cannot
+	// distinguish a crashed owner from an unreachable one, and claiming
+	// across a partition would mint a second owner that the heal exposes.
+	ClaimRetries int
 	// LazyReplicas keeps the receive path from materializing page state
 	// for pages this host has never touched: snooped broadcasts that are
 	// not addressed here are noted in a transit bitmap and skipped
@@ -144,6 +155,16 @@ type Driver struct {
 	serverKey any
 	intrFn    func()
 	stepFn    func()
+	// Fault-plane state (world.CrashHost / RecoverHost). down mirrors the
+	// NIC; everCrashed stays set forever after the first crash and gates
+	// the ghost fence (a host that never crashed keeps PR 6's exact
+	// adopt-or-drop behaviour). downSince/rejoinStart/rejoinPending drive
+	// the UnavailNS and RejoinNS measurements.
+	down          bool
+	everCrashed   bool
+	rejoinPending bool
+	downSince     time.Duration
+	rejoinStart   time.Duration
 	// redundant is the cached nearest-first extra-target list for
 	// redundant fetches (page-independent, built lazily once); its wire
 	// encoding is cached alongside so request sends do not re-encode it.
@@ -162,6 +183,10 @@ const (
 	// transit count so the answer is suppressed if any transit (almost
 	// always the winning reply) covered the page in the meantime.
 	workRedundant
+	// workClaim is the orphaned-ownership claim: ClaimRetries retries
+	// went unanswered, so the server re-mints authority for the page
+	// (re-checking that nothing arrived in the meantime).
+	workClaim
 )
 
 type workItem struct {

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"time"
+
+	"mether/internal/proto"
+	"mether/internal/vm"
+)
+
+// This file is the driver's side of the fault-injection plane
+// (internal/fault schedules, executed by the world layer): crash,
+// recovery and owner migration. Crash models a power failure — the NIC
+// goes down and every byte of driver state is lost — while client
+// processes keep their mappings and simply re-fault. All of it runs at
+// virtual time under the simulation kernel, so a faulted run is exactly
+// as deterministic as a healthy one.
+
+// Crash takes the host off the wire and wipes the driver's protocol
+// state in place. "In place" matters: client processes sleep holding
+// *pageState pointers, so every materialized entry is reset where it
+// lives, never reallocated. Authority held here (owner/restOwner) is
+// simply lost — that is the point: the cluster must detect the orphaned
+// pages and re-claim them (Config.ClaimRetries). Client-side
+// bookkeeping (mappings, locks, data-waiter counts) survives, the way a
+// process's VM structures outlive a device reset; waiters are woken so
+// they re-enter their fault loops against the cold state.
+func (d *Driver) Crash() {
+	if d.down {
+		return
+	}
+	d.down = true
+	d.everCrashed = true
+	d.downSince = d.h.Kernel().Now()
+	d.nic.SetDown(true)
+	// Frames already in the receive ring died with the host.
+	for {
+		f, ok := d.nic.Recv()
+		if !ok {
+			break
+		}
+		d.nic.Release(f)
+	}
+	// Pending server work and warm-seed bookkeeping are driver state.
+	for i := d.workHead; i < len(d.workq); i++ {
+		d.workq[i] = workItem{}
+	}
+	d.workq = d.workq[:0]
+	d.workHead = 0
+	d.seedRanges = nil
+	d.transits = nil
+	for _, s := range d.shards {
+		if s == nil {
+			continue
+		}
+		for i := range s {
+			st := &s[i]
+			if !st.inited {
+				continue
+			}
+			if st.retry != nil {
+				st.retry.Cancel()
+				st.retry = nil
+			}
+			st.frame = vm.Frame{}
+			st.shortPresent, st.restPresent = false, false
+			st.owner, st.restOwner = false, false
+			st.grantedTo, st.grantedRestTo = proto.NoOwner, proto.NoOwner
+			st.wantShort, st.wantRest, st.wantConsistent = false, false, false
+			st.reqInFlight, st.reqAskedCons, st.reqAskedRest = false, false, false
+			st.purgePending, st.purgeShort = false, false
+			st.deferred = st.deferred[:0]
+			st.backoff, st.claimTries = 0, 0
+			st.installedAt = 0
+			st.fullUnmapped, st.fullUnmappedByLock = false, false
+			d.h.Wakeup(st.waitK)
+			d.h.Wakeup(st.purgeK)
+		}
+	}
+	d.h.Wakeup(d.serverKey)
+}
+
+// Recover brings a crashed host back on the wire. The driver state
+// stays cold — re-join happens through the ordinary attach path, with
+// every touched page re-materializing through the lazy directory and
+// demand-fetching from the cluster. Outstanding wants (clients that
+// faulted while down and went to sleep against suppressed sends) are
+// re-sent immediately at the base retry timeout, so the re-join is as
+// snappy as the protocol allows; RejoinNS measures until the first
+// piece of data actually lands.
+func (d *Driver) Recover() {
+	if !d.down {
+		return
+	}
+	now := d.h.Kernel().Now()
+	d.down = false
+	d.m.UnavailNS += now - d.downSince
+	d.rejoinPending = true
+	d.rejoinStart = now
+	d.nic.SetDown(false)
+	for _, s := range d.shards {
+		if s == nil {
+			continue
+		}
+		for i := range s {
+			st := &s[i]
+			if !st.inited {
+				continue
+			}
+			st.backoff = 0
+			if st.wantsAnything() {
+				if st.retry != nil {
+					st.retry.Cancel()
+					st.retry = nil
+				}
+				st.reqInFlight = true
+				d.enqueueWork(workItem{kind: workSendReq, page: st.page})
+			}
+		}
+	}
+}
+
+// CrashedDown reports whether the host is currently crashed.
+func (d *Driver) CrashedDown() bool { return d.down }
+
+// noteRejoin closes an open rejoin measurement: the first data that
+// lands after a recovery ends the cold window.
+func (d *Driver) noteRejoin() {
+	if d.rejoinPending {
+		d.rejoinPending = false
+		d.m.RejoinNS += d.h.Kernel().Now() - d.rejoinStart
+	}
+}
+
+// SettleFaults folds still-open fault windows into the metrics at
+// end-of-run time: a host that is down (or mid-rejoin) when the
+// workload stops measuring must still account the open window, or a
+// crash near the cap would under-report unavailability. A no-op on
+// healthy hosts.
+func (d *Driver) SettleFaults(end time.Duration) {
+	if d.down {
+		d.m.UnavailNS += end - d.downSince
+		d.downSince = end
+	}
+	if d.rejoinPending {
+		d.rejoinPending = false
+		d.m.RejoinNS += end - d.rejoinStart
+	}
+}
+
+// MigrateTo re-homes every authority resident on this host to dst,
+// shipping the owner's resident working set with it MOSIX-style: the
+// page bytes and their generation move together, so the authority stays
+// generation-fenced through the move. The transfer is modeled as an
+// out-of-band bulk copy (no per-page broadcasts — a real migration
+// ships the working set in one stream, not through the coherence
+// protocol); requesters find the new owner naturally because requests
+// are broadcast. The source keeps non-authoritative replicas, and pages
+// mid-lock or mid-purge stay put (their authority migrates on a later
+// event, if any). Returns the number of authorities moved.
+func (d *Driver) MigrateTo(dst *Driver) int {
+	if d.down || dst.down || d == dst {
+		return 0
+	}
+	now := d.h.Kernel().Now()
+	moved := 0
+	for _, s := range d.shards {
+		if s == nil {
+			continue
+		}
+		for i := range s {
+			st := &s[i]
+			if !st.inited || (!st.owner && !st.restOwner) || st.locked || st.purgePending {
+				continue
+			}
+			dstSt := dst.page(st.page)
+			if err := dstSt.frame.Install(st.frame.Snapshot(false), st.frame.Gen()); err != nil {
+				continue
+			}
+			dstSt.shortPresent, dstSt.restPresent = true, true
+			dstSt.wantShort, dstSt.wantRest = false, false
+			if st.owner {
+				st.owner = false
+				st.grantedTo = dst.id
+				dstSt.owner = true
+				dstSt.grantedTo = proto.NoOwner
+				dstSt.installedAt = now
+				dstSt.wantConsistent = false
+			}
+			if st.restOwner {
+				st.restOwner = false
+				st.grantedRestTo = dst.id
+				dstSt.restOwner = true
+				dstSt.grantedRestTo = proto.NoOwner
+			}
+			dst.m.MigratedPages++
+			dst.clearRetryIfDone(dstSt)
+			dst.h.Wakeup(dstSt.waitK)
+			moved++
+		}
+	}
+	return moved
+}

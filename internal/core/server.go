@@ -64,7 +64,71 @@ func (d *Driver) handleWork(p cpuSink, w workItem) {
 		}
 	case workRedundant:
 		d.serveRedundant(p, st, w.req, w.seq)
+	case workClaim:
+		d.serveClaim(p, st)
 	}
+}
+
+// serveClaim re-mints authority over an orphaned page: ClaimRetries
+// retries went unanswered, so the owner is gone and this host promotes
+// its copy (possibly the flyweight zeros of a cold replica) to the
+// consistent copy at a bumped generation, then broadcasts the claim.
+// The bump is the ghost fence's other half: a recovered ghost restarts
+// at generation zero and everCrashed, so it can never outrank or
+// re-adopt the claimed line. The claim broadcast is distinguishable on
+// the wire (Consistent with OwnerTo == From — a self-grant no ordinary
+// serve ever produces), which is what lets two racing claimants
+// arbitrate deterministically in handleData. Everything is re-checked
+// first: data or a migration may have landed between the retry timer
+// and this work item.
+func (d *Driver) serveClaim(p cpuSink, st *pageState) {
+	st.claimTries = 0
+	if d.cfg.ClaimRetries <= 0 || !st.wantsAnything() {
+		return
+	}
+	if st.owner {
+		// Only the rest authority is orphaned (ownership arrived via a
+		// short transfer and the rest owner crashed). Re-mint it locally:
+		// rest authority is not snooped, so there is nothing to
+		// broadcast, and the crashed rest owner's wiped state cannot
+		// conflict.
+		if st.wantRest && !st.restOwner {
+			st.restOwner = true
+			st.restPresent = true
+			st.wantRest = false
+			st.grantedRestTo = proto.NoOwner
+			d.m.OrphanRecoveries++
+			d.noteRejoin()
+			d.clearRetryIfDone(st)
+			d.h.Wakeup(st.waitK)
+		}
+		return
+	}
+	st.frame.SetGen(st.frame.Gen() + 1)
+	st.owner = true
+	st.restOwner = true
+	st.shortPresent = true
+	st.restPresent = true
+	st.grantedTo = proto.NoOwner
+	st.grantedRestTo = proto.NoOwner
+	st.installedAt = d.h.Kernel().Now()
+	st.wantShort, st.wantRest, st.wantConsistent = false, false, false
+	d.m.OrphanRecoveries++
+	d.noteRejoin()
+	pkt := proto.Packet{
+		Type:       proto.TypeData,
+		Page:       st.page,
+		Short:      true,
+		Consistent: true,
+		From:       d.id,
+		OwnerTo:    d.id,
+		Gen:        uint32(st.frame.Gen()),
+		Data:       st.frame.Region(true),
+	}
+	d.m.DataSent++
+	d.transmit(p, pkt)
+	d.clearRetryIfDone(st)
+	d.h.Wakeup(st.waitK)
 }
 
 // sendRequest transmits the demand request implied by the page's want
@@ -112,24 +176,59 @@ func (d *Driver) sendRequest(p cpuSink, st *pageState) {
 // armRetry schedules a retransmit if the wants are still outstanding
 // after the retry timeout. Mether runs over unreliable datagrams:
 // requests, replies and grants can all be lost, and the demand path must
-// recover on its own.
+// recover on its own. While the NIC is down every send is suppressed
+// anyway, so the timeout backs off exponentially — capped at the larger
+// of MinResidency and 32x the base timeout (the default residency is
+// smaller than one retry, which would make a residency-only cap a
+// no-op) — instead of spinning the event kernel hot for the whole
+// outage; the first up-NIC arm resets the backoff.
 func (d *Driver) armRetry(st *pageState) {
 	if st.retry != nil {
 		st.retry.Cancel()
 	}
-	st.retry = d.h.Kernel().After(d.cfg.RetryTimeout, "mether retry", func() {
+	to := d.cfg.RetryTimeout
+	if d.nic.Down() {
+		limit := d.cfg.MinResidency
+		if m := 32 * d.cfg.RetryTimeout; limit < m {
+			limit = m
+		}
+		to <<= st.backoff
+		if to >= limit {
+			to = limit
+		} else if st.backoff < 8 {
+			st.backoff++
+		}
+	} else {
+		st.backoff = 0
+	}
+	st.retry = d.h.Kernel().After(to, "mether retry", func() {
 		st.retry = nil
 		if !st.wantsAnything() {
 			st.reqInFlight = false
 			return
 		}
 		d.m.Retries++
+		// Orphaned-ownership detection: an owner that answers nothing for
+		// ClaimRetries consecutive retries has crashed, and its authority
+		// must be re-minted or the want livelocks. Suppressed sends teach
+		// nothing (the request never reached the wire), so a down NIC
+		// never advances the count.
+		if d.cfg.ClaimRetries > 0 && !d.nic.Down() {
+			st.claimTries++
+			if int(st.claimTries) >= d.cfg.ClaimRetries {
+				d.enqueueWork(workItem{kind: workClaim, page: st.page})
+				return
+			}
+		}
 		d.enqueueWork(workItem{kind: workSendReq, page: st.page})
 	})
 }
 
 // clearRetryIfDone cancels the retransmit timer once nothing is wanted.
+// Satisfied wants also reset the claim counter: the cluster answered,
+// so the owner is alive.
 func (d *Driver) clearRetryIfDone(st *pageState) {
+	st.claimTries = 0
 	if st.wantsAnything() {
 		return
 	}
@@ -354,7 +453,23 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 	st.transitSeq++
 	gen := uint64(pkt.Gen)
 	toMe := int(pkt.OwnerTo) == d.h.ID()
+	// A claim is a self-grant (Consistent with OwnerTo == From): the
+	// sender re-minted an orphaned page's authority. No ordinary serve
+	// produces this shape, so it only appears in fault worlds with
+	// claiming armed.
+	claim := pkt.Consistent && pkt.OwnerTo == pkt.From
 	switch {
+	case toMe && d.everCrashed && !st.wantConsistent:
+		// Ghost fence: this host crashed at least once, so a grant it is
+		// not currently asking for is pre-crash wreckage — a retransmit or
+		// in-flight grant from before the crash, replayed at a host whose
+		// state restarted at generation zero. The generation comparison
+		// below is useless after the reset (everything outranks zero), so
+		// the want qualification alone decides: adopting would re-mint the
+		// authority the cluster has since re-claimed. This extends the
+		// want-qualified adopt-or-drop rule to crashed hosts.
+		d.m.StaleDrops++
+		d.m.GhostDrops++
 	case toMe && gen < st.frame.Gen() && !st.wantConsistent:
 		// A late or duplicate ownership grant (grants are retransmitted
 		// because they can be lost, and a reply answered after
@@ -389,7 +504,27 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 			st.wantRest = false
 		}
 		d.m.Installs++
+		d.noteRejoin()
 		d.clearRetryIfDone(st)
+	case st.owner && claim:
+		// A rival claim while we hold the consistent copy: two requesters
+		// crossed the claim threshold in flight (or our own claim raced
+		// theirs). Exactly one may survive. The comparison is
+		// antisymmetric — higher generation wins, ties go to the lower
+		// host id — so of any racing pair, one side yields on receiving
+		// the other's claim and the other side drops the loser's claim as
+		// stale below.
+		if gen > st.frame.Gen() || (gen == st.frame.Gen() && int(pkt.From) < d.h.ID()) {
+			if st.frame.Install(pkt.Data, gen) != nil {
+				return
+			}
+			st.owner = false
+			st.restOwner = false
+			st.grantedTo = proto.NoOwner
+			st.grantedRestTo = proto.NoOwner
+		} else {
+			d.m.StaleDrops++
+		}
 	case st.owner:
 		// We hold the consistent copy: a passing transit never clobbers it.
 		d.m.StaleDrops++
@@ -409,6 +544,7 @@ func (d *Driver) handleData(st *pageState, pkt proto.Packet) {
 				st.wantRest = false
 			}
 			d.m.Installs++
+			d.noteRejoin()
 			d.clearRetryIfDone(st)
 		case st.shortPresent:
 			// Snoopy refresh of a resident inconsistent copy.
@@ -480,6 +616,15 @@ func (d *Driver) sendRestData(p cpuSink, st *pageState, to int16) {
 // handleRestData installs or refreshes the superset remainder.
 func (d *Driver) handleRestData(st *pageState, pkt proto.Packet) {
 	if int(pkt.OwnerTo) == d.h.ID() {
+		if d.everCrashed && !st.wantRest {
+			// Ghost fence, rest flavour: a crashed host adopts no rest
+			// grant it is not currently asking for — it is pre-crash
+			// wreckage, and the authority it carries has been re-minted
+			// by a claim since. See handleData's fence.
+			d.m.GhostDrops++
+			d.h.Wakeup(st.waitK)
+			return
+		}
 		if !st.wantRest && st.restOwner {
 			// A late or duplicate rest grant. With no ask outstanding
 			// and the rest authority already here, an earlier copy of
@@ -501,6 +646,7 @@ func (d *Driver) handleRestData(st *pageState, pkt proto.Packet) {
 		st.grantedRestTo = proto.NoOwner
 		st.wantRest = false
 		d.m.Installs++
+		d.noteRejoin()
 		d.clearRetryIfDone(st)
 	} else if st.restPresent && !st.restOwner {
 		if st.frame.InstallRest(pkt.Data) != nil {

@@ -71,6 +71,15 @@ type pageState struct {
 	reqAskedRest bool
 	reqID        uint16
 	retry        *sim.Event
+	// backoff is the exponential retry-backoff exponent, advanced only
+	// while the NIC is down (a crashed host's retries go nowhere, so
+	// spinning them at the base timeout just heats the event kernel) and
+	// reset to zero by the first up-NIC retry arm.
+	backoff uint8
+	// claimTries counts consecutive unanswered retries toward the
+	// orphaned-ownership claim threshold (Config.ClaimRetries); any
+	// arriving data resets it.
+	claimTries uint8
 
 	// dataWaiters counts processes blocked in data-driven faults; they
 	// are woken by any transit of the page.
@@ -179,6 +188,21 @@ type Metrics struct {
 	// KernelTime is CPU consumed by interrupt-level protocol processing
 	// in kernel-server mode (zero with the user-level server).
 	KernelTime time.Duration
+	// Fault-plane counters (all zero in healthy worlds). OrphanRecoveries
+	// counts pages whose orphaned authority this host re-minted via the
+	// claim path after a crashed owner stopped answering; GhostDrops
+	// counts stale authority grants refused by the post-crash want fence
+	// (a recovered ghost must not re-mint authority from a pre-crash
+	// grant); MigratedPages counts authorities shipped here by an owner
+	// migration.
+	OrphanRecoveries uint64
+	GhostDrops       uint64
+	MigratedPages    uint64
+	// UnavailNS totals this host's NIC-down windows; RejoinNS totals
+	// recovery-to-first-reinstall latencies (cold re-join time through
+	// the lazy directory attach path).
+	UnavailNS time.Duration
+	RejoinNS  time.Duration
 
 	FaultLatency stats.Histogram
 }

@@ -27,6 +27,11 @@ type Bridge struct {
 	bBacklog time.Duration // extra queueing toward segment B
 	aLoss    float64       // forwarding loss toward segment A
 	bLoss    float64       // forwarding loss toward segment B
+	// partitioned marks the bridge as down: both ports stop receiving,
+	// and any store-and-forward still in flight is dropped when its
+	// timer fires instead of delivering stale pre-partition traffic
+	// after a heal.
+	partitioned bool
 
 	stats BridgeStats
 	// freeFwd pools in-flight forward records (frame + prebuilt closure)
@@ -57,6 +62,12 @@ type BridgeStats struct {
 	Queued int
 	// MaxQueued is the peak occupancy observed.
 	MaxQueued int
+	// PartitionDrops counts frames discarded because the bridge was
+	// partitioned: buffered port-ring frames drained at partition time
+	// plus in-flight store-and-forwards whose timer fired while down.
+	// Without this drain, a heal would replay pre-partition frames with
+	// ancient generations.
+	PartitionDrops uint64
 }
 
 // add accumulates another bridge's counters (topology aggregation).
@@ -67,6 +78,7 @@ func (s *BridgeStats) add(o BridgeStats) {
 	if o.MaxQueued > s.MaxQueued {
 		s.MaxQueued = o.MaxQueued
 	}
+	s.PartitionDrops += o.PartitionDrops
 }
 
 // NewBridge joins segments a and b with the given store-and-forward
@@ -95,6 +107,39 @@ func (br *Bridge) SetBacklog(towardA, towardB time.Duration) {
 func (br *Bridge) SetPortLoss(towardA, towardB float64) {
 	br.aLoss = towardA
 	br.bLoss = towardB
+}
+
+// SetPartitioned takes the bridge down (or back up): both ports go
+// down, so neither segment's traffic crosses. Going down also drains
+// the frames already buffered in the port rings — a real bridge's
+// store buffer does not survive a power cycle, and replaying
+// pre-partition frames after a heal would deliver ancient generations.
+// Drained and in-flight frames are refcount-released and counted as
+// PartitionDrops. Healing (down=false) only re-enables the ports;
+// traffic resumes with the next frame transmitted on either segment.
+func (br *Bridge) SetPartitioned(down bool) {
+	br.partitioned = down
+	br.aPort.SetDown(down)
+	br.bPort.SetDown(down)
+	if down {
+		br.drainPort(br.aPort)
+		br.drainPort(br.bPort)
+	}
+}
+
+// Partitioned reports whether the bridge is currently down.
+func (br *Bridge) Partitioned() bool { return br.partitioned }
+
+// drainPort discards everything buffered in one port's receive ring.
+func (br *Bridge) drainPort(p *NIC) {
+	for {
+		f, ok := p.Recv()
+		if !ok {
+			return
+		}
+		br.stats.PartitionDrops++
+		p.Release(f)
+	}
 }
 
 // Forwarded returns the number of frames the bridge has relayed.
@@ -151,6 +196,17 @@ func (br *Bridge) acquireFwd() *bridgeFwd {
 func (fw *bridgeFwd) run() {
 	br := fw.br
 	br.stats.Queued--
+	if br.partitioned {
+		// The partition hit while this forward was in its
+		// store-and-forward delay: drop it like the drained ring frames,
+		// so nothing transmitted before the partition crosses after it.
+		br.stats.PartitionDrops++
+		fw.from.Release(fw.f)
+		fw.f = Frame{}
+		fw.from, fw.to = nil, nil
+		br.freeFwd = append(br.freeFwd, fw)
+		return
+	}
 	fw.to.Send(fw.f.Dst, fw.f.Payload)
 	fw.from.Release(fw.f)
 	fw.f = Frame{}

@@ -1,0 +1,128 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"mether/internal/sim"
+)
+
+// A NIC taken down mid-broadcast must neither receive the in-flight
+// frame nor leak its share of the refcounted payload buffer: the
+// delivery path skips down NICs without taking a reference, so the
+// buffer drains back to the pool once the live receivers release.
+func TestSetDownMidBroadcastReleasesSharedBuffer(t *testing.T) {
+	k := sim.New(1)
+	b := NewBus(k, DefaultParams())
+	nics := make([]*NIC, 4)
+	for i := range nics {
+		nics[i] = b.Attach("n", nil)
+	}
+	// Take one receiver down after the send is queued but before the
+	// frame propagates: the broadcast is in flight when the NIC dies.
+	nics[0].Send(Broadcast, []byte("in-flight"))
+	nics[2].SetDown(true)
+	k.Run()
+
+	if nics[2].Pending() != 0 {
+		t.Errorf("down NIC buffered %d frame(s), want 0", nics[2].Pending())
+	}
+	for _, i := range []int{1, 3} {
+		f, ok := nics[i].Recv()
+		if !ok || string(f.Payload) != "in-flight" {
+			t.Fatalf("live NIC %d got %q ok=%v, want in-flight", i, f.Payload, ok)
+		}
+		nics[i].Release(f)
+	}
+	alloc, free := b.PoolStats()
+	if alloc != free {
+		t.Errorf("pool: allocated %d != free %d — down receiver leaked a reference", alloc, free)
+	}
+	k.Shutdown()
+}
+
+// A down NIC's sends are suppressed (counted, not transmitted), and
+// bringing it back up resumes both directions.
+func TestSetDownSuppressesSends(t *testing.T) {
+	k := sim.New(1)
+	b := NewBus(k, DefaultParams())
+	tx := b.Attach("tx", nil)
+	rx := b.Attach("rx", nil)
+
+	tx.SetDown(true)
+	tx.Send(Broadcast, []byte("lost"))
+	k.Run()
+	if rx.Pending() != 0 {
+		t.Error("down NIC's send reached the wire")
+	}
+
+	tx.SetDown(false)
+	tx.Send(Broadcast, []byte("back"))
+	k.Run()
+	f, ok := rx.Recv()
+	if !ok || string(f.Payload) != "back" {
+		t.Errorf("post-recovery send got %q ok=%v, want back", f.Payload, ok)
+	}
+	rx.Release(f)
+	alloc, free := b.PoolStats()
+	if alloc != free {
+		t.Errorf("pool: allocated %d != free %d", alloc, free)
+	}
+	k.Shutdown()
+}
+
+// Partitioning a bridge mid-transfer drains its queued frames (counted
+// as PartitionDrops, never replayed after the heal) and releases their
+// buffer references; traffic flows again after SetPartitioned(false).
+func TestBridgePartitionDrainsQueuedFrames(t *testing.T) {
+	k := sim.New(1)
+	a := NewBus(k, DefaultParams())
+	bb := NewBus(k, DefaultParams())
+	br := NewBridge(k, a, bb, 10*time.Millisecond)
+
+	hostA := a.Attach("hostA", nil)
+	hostB := bb.Attach("hostB", nil)
+
+	// Queue a burst into the bridge, then partition before the 10 ms
+	// store-and-forward delay elapses: every queued frame must be
+	// dropped, not delivered after the heal.
+	for i := 0; i < 4; i++ {
+		hostA.Send(Broadcast, []byte{byte(i)})
+	}
+	k.After(time.Millisecond, "partition", func() { br.SetPartitioned(true) })
+	k.After(50*time.Millisecond, "heal", func() { br.SetPartitioned(false) })
+	k.Run()
+
+	if hostB.Pending() != 0 {
+		t.Errorf("partitioned bridge delivered %d frame(s) cross-trunk", hostB.Pending())
+	}
+	if br.Stats().PartitionDrops == 0 {
+		t.Error("partition drained no frames; want PartitionDrops > 0")
+	}
+
+	// Post-heal traffic crosses again.
+	hostA.Send(Broadcast, []byte("after-heal"))
+	k.Run()
+	f, ok := hostB.Recv()
+	if !ok || string(f.Payload) != "after-heal" {
+		t.Errorf("post-heal frame got %q ok=%v, want after-heal", f.Payload, ok)
+	}
+	hostB.Release(f)
+
+	// Drain hostA's own copy-back traffic (bridge echoes nothing, but
+	// hostB's buses share no pool; check both pools balance).
+	for {
+		f, ok := hostA.Recv()
+		if !ok {
+			break
+		}
+		hostA.Release(f)
+	}
+	if alloc, free := a.PoolStats(); alloc != free {
+		t.Errorf("trunk A pool: allocated %d != free %d", alloc, free)
+	}
+	if alloc, free := bb.PoolStats(); alloc != free {
+		t.Errorf("trunk B pool: allocated %d != free %d", alloc, free)
+	}
+	k.Shutdown()
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mether/internal/fault"
 	"mether/internal/protocols"
 	"mether/internal/workload"
 )
@@ -32,6 +33,13 @@ type Options struct {
 	// k2/k3 cells; zero keeps the default grid. 1 is the classic
 	// owner-only protocol under its sweep-axis name.
 	Redundancy int
+	// Faults controls the cluster grid's fault-injection cells. ""/"on"
+	// includes them (the default grid); "off" drops them — the exact
+	// healthy grid, kept reproducible so -baseline comparisons against
+	// pre-fault reports show zero deltas. Any other value is a
+	// fault.Parse spec ("crash@150ms:h3;...") run as one extra custom
+	// stationary cell on top of the healthy grid.
+	Faults string
 }
 
 func (o Options) withDefaults() Options {
@@ -379,6 +387,46 @@ func ClusterGrid(o Options) []Scenario {
 		// forwarding hop before its cross-trunk waiters release; the
 		// hotspot cell additionally homes the hot segment on trunk 1, so
 		// trunk 0's writers steal it across the bridge first.
+		// The fault-injection cells (dropped by -faults off, which
+		// restores the exact healthy grid). Crash-owner kills one
+		// stationary owner mid-run and recovers it 4 s later: its page is
+		// orphaned until the recovered host's own demand retries go
+		// unanswered ClaimRetries times and it re-claims (generation-
+		// bumped, broadcast-arbitrated); the cell must end with zero
+		// orphans. Partition-heal splits the 2-trunk hotspot's bridge for
+		// 5 s mid-contention: far-trunk steals retry across the outage and
+		// drain after the heal — ClaimRetries stays 0, since a claim
+		// across a partition would mint a second owner. Churn (at the
+		// 1024-host rung below) crashes a random 1% of hosts per round.
+		if h == 256 && (o.Faults == "" || o.Faults == "on") {
+			out = append(out,
+				// ClaimRetries is calibrated above the healthy cell's
+				// longest consecutive-retry streak (the h256 broadcast
+				// backlog can stall a live owner's answer past 1 s), so
+				// the only claim fired is the recovered host re-claiming
+				// its own orphaned page.
+				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/crash-owner", h), Kind: KindStationary,
+					Hosts: h, Iters: iters * 2, Seed: o.Seed,
+					Faults: "crash@8s:h17;recover@12s:h17", ClaimRetries: 8},
+				Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/t2-star/partition-heal", h), Kind: KindHotspot,
+					Hosts: h, Iters: hotIters, MinResidency: res,
+					Trunks: 2, OwnerTrunk: 1, Seed: o.Seed,
+					Faults: "partition@20s:b0;heal@25s:b0"},
+			)
+		}
+		if h >= 1024 && (o.Faults == "" || o.Faults == "on") {
+			// 1% of hosts crash per round, three rounds, each victim down
+			// 200 ms. Iters is raised above the tier's 2 so every client
+			// is still mid-run through the churn window — a finished
+			// client would leave its crashed page orphaned with no demand
+			// traffic left to trigger a re-claim.
+			out = append(out, Scenario{
+				Name: fmt.Sprintf("cluster/stationary/h%d/churn-1%%", h), Kind: KindStationary,
+				Hosts: h, Iters: 8, WarmStart: warm, RxRing: ring, Seed: o.Seed,
+				Faults: fault.Churn(o.Seed, h, 0.01, time.Second,
+					1500*time.Millisecond, 200*time.Millisecond, 3).String(),
+				ClaimRetries: 8})
+		}
 		if h == 64 || h == 256 {
 			out = append(out,
 				Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/t2-star", h), Kind: KindStationary,
@@ -469,6 +517,15 @@ func ClusterGrid(o Options) []Scenario {
 			out[i].Name += fmt.Sprintf("/k%d", o.Redundancy)
 		}
 	}
+	// A custom -faults spec replaces the built-in fault cells with one
+	// extra stationary cell running the given schedule (on the smallest
+	// grid size, or the -hosts restriction).
+	if o.Faults != "" && o.Faults != "on" && o.Faults != "off" {
+		h := sizes[0]
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("cluster/stationary/h%d/faults-custom", h), Kind: KindStationary,
+			Hosts: h, Iters: 16, Seed: o.Seed, Faults: o.Faults, ClaimRetries: 3})
+	}
 	return out
 }
 
@@ -501,6 +558,13 @@ func SmokeGrid(o Options) []Scenario {
 		{Name: "smoke/stationary-h4096", Kind: KindStationary, Hosts: 4096, Iters: 1,
 			WarmStart: true, Windowed: true, Lazy: true, Stagger: 200 * time.Microsecond,
 			RingSlots: 64, RetryTimeout: 500 * time.Millisecond, Seed: o.Seed},
+		// The fault-plane smoke cell: crash one stationary owner early,
+		// recover it 1 ms later, and require the orphaned page to be
+		// re-claimed (the noteOrphans gate) on every push. Small enough
+		// that the claim retries dominate the virtual wall — the real
+		// cost stays milliseconds.
+		{Name: "smoke/stationary-crash-owner", Kind: KindStationary, Hosts: 4, Iters: 8,
+			Faults: "crash@1ms:h1;recover@2ms:h1", ClaimRetries: 2, Seed: o.Seed},
 	}
 }
 

@@ -39,6 +39,8 @@ var csvColumns = []string{
 	"mem_bytes", "bytes_per_host", "ring_high_water",
 	"bridge_forwarded", "bridge_port_drops", "bridge_max_queued", "cross_trunk_stale",
 	"redundant_serves", "redundant_suppressed", "late_drops",
+	"orphan_recoveries", "ghost_drops", "migrated_pages",
+	"unavail_ns", "rejoin_ns", "partition_drops", "orphaned",
 	"deviations",
 }
 
@@ -92,6 +94,13 @@ func (r Report) CSV() []byte {
 			strconv.FormatUint(s.RedundantServes, 10),
 			strconv.FormatUint(s.RedundantSuppressed, 10),
 			strconv.FormatUint(s.LateDrops, 10),
+			strconv.FormatUint(s.OrphanRecoveries, 10),
+			strconv.FormatUint(s.GhostDrops, 10),
+			strconv.FormatUint(s.MigratedPages, 10),
+			strconv.FormatInt(s.UnavailNS, 10),
+			strconv.FormatInt(s.RejoinNS, 10),
+			strconv.FormatUint(s.PartitionDrops, 10),
+			strconv.Itoa(s.Orphaned),
 			csvQuote(strings.Join(s.Deviations, "; ")),
 		}
 		for i, c := range row {

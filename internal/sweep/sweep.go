@@ -21,6 +21,7 @@ import (
 	"mether/internal/analysis"
 	"mether/internal/core"
 	"mether/internal/ethernet"
+	"mether/internal/fault"
 	"mether/internal/protocols"
 	"mether/internal/workload"
 )
@@ -151,6 +152,18 @@ type Scenario struct {
 	// lower-numbered trunk respectively. Zero on classic cells.
 	BacklogUp   time.Duration
 	BacklogDown time.Duration
+	// Faults is a deterministic fault schedule in fault.Parse syntax
+	// ("crash@150ms:h3;partition@200ms:b0;..."), kept as a string so a
+	// Scenario stays pure data. Empty means a healthy world — provably
+	// identical to a schedule-free run. Applies to hotspot and stationary
+	// kinds.
+	Faults string
+	// ClaimRetries arms orphaned-ownership recovery (stationary only):
+	// after this many consecutive unanswered demand retries a requester
+	// claims the page itself. Zero disables claiming; partition cells
+	// must leave it zero (a claim across a partition mints a second
+	// owner).
+	ClaimRetries int
 }
 
 // Result is one scenario's aggregated measurements. Every field is a
@@ -230,6 +243,22 @@ type Result struct {
 	RedundantServes     uint64 `json:"redundant_serves,omitempty"`
 	RedundantSuppressed uint64 `json:"redundant_suppressed,omitempty"`
 	LateDrops           uint64 `json:"late_drops,omitempty"`
+
+	// Fault-plane measurements, zero (and omitted, keeping healthy-world
+	// reports byte-identical) without a fault schedule: authorities
+	// re-claimed after a crash orphaned them, pre-crash grants refused by
+	// the recovered host's ghost fence, authorities shipped by owner
+	// migrations, total host-down time, total recovery-to-first-
+	// reinstall time, frames a partitioned bridge dropped, and pages
+	// still ownerless at end of run (a gate: fault cells must end with
+	// zero).
+	OrphanRecoveries uint64 `json:"orphan_recoveries,omitempty"`
+	GhostDrops       uint64 `json:"ghost_drops,omitempty"`
+	MigratedPages    uint64 `json:"migrated_pages,omitempty"`
+	UnavailNS        int64  `json:"unavail_ns,omitempty"`
+	RejoinNS         int64  `json:"rejoin_ns,omitempty"`
+	PartitionDrops   uint64 `json:"partition_drops,omitempty"`
+	Orphaned         int    `json:"orphaned,omitempty"`
 
 	// Deviations lists paper-band violations when the scenario carries a
 	// Figure reference; empty means all checked cells agree.
@@ -344,6 +373,11 @@ func (s Scenario) Run() Result {
 		res.Err = err.Error()
 		return res
 	}
+	faults, err := fault.Parse(s.Faults)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
 	switch s.Kind {
 	case KindCounter:
 		r, err := protocols.Run(s.counterConfig(trunkShape))
@@ -429,7 +463,8 @@ func (s Scenario) Run() Result {
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, OwnerTrunk: s.OwnerTrunk, PortLoss: s.PortLoss,
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
-			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			Faults: faults,
+			Seed:   s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -438,6 +473,7 @@ func (s Scenario) Run() Result {
 		res.DNF = r.DNF
 		res.Ops = r.Updates
 		res.fillCluster(r.ClusterStats, s.Hosts)
+		res.noteOrphans(s, r.Orphaned)
 	case KindBarrier:
 		// HysteresisN doubles as the barrier waiter's purge hysteresis:
 		// large clusters need a high value so waiters ride the snoopy
@@ -478,6 +514,7 @@ func (s Scenario) Run() Result {
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
 			WindowedAttach: s.Windowed, StaggerStart: s.Stagger,
 			LazyReplicas: s.Lazy, RingSlots: s.RingSlots, RetryTimeout: s.RetryTimeout,
+			Faults: faults, ClaimRetries: s.ClaimRetries,
 			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
@@ -487,6 +524,7 @@ func (s Scenario) Run() Result {
 		res.DNF = r.DNF
 		res.Ops = r.Updates
 		res.fillCluster(r.ClusterStats, s.Hosts)
+		res.noteOrphans(s, r.Orphaned)
 	default:
 		res.Err = fmt.Sprintf("sweep: unknown scenario kind %q", s.Kind)
 	}
@@ -524,6 +562,12 @@ func (r *Result) fillCluster(cs workload.ClusterStats, hosts int) {
 	r.BridgePortDrops = cs.BridgePortDrops
 	r.BridgeMaxQueued = cs.BridgeMaxQueued
 	r.CrossTrunkStale = cs.CrossTrunkStale
+	r.OrphanRecoveries = cs.OrphanRecoveries
+	r.GhostDrops = cs.GhostDrops
+	r.MigratedPages = cs.MigratedPages
+	r.UnavailNS = int64(cs.UnavailNS)
+	r.RejoinNS = int64(cs.RejoinNS)
+	r.PartitionDrops = cs.BridgePartitionDrops
 	r.TrunkUtil = cs.TrunkUtil
 	r.TrunkFrames = cs.TrunkFrames
 	if cs.Wall > 0 {
@@ -531,6 +575,22 @@ func (r *Result) fillCluster(cs workload.ClusterStats, hosts int) {
 			r.OpsPerSec = float64(r.Ops) / cs.Wall.Seconds()
 		}
 		r.NetBytesPerSec = float64(cs.WireBytes) / cs.Wall.Seconds()
+	}
+}
+
+// noteOrphans records the end-of-run orphan count on a faulted cell and
+// turns a nonzero count into a deviation: a fault schedule must leave
+// every page with a live owner (crashed authorities re-claimed), so an
+// orphan surviving to the end is a recovery failure, gated exactly like
+// a paper-band violation.
+func (r *Result) noteOrphans(s Scenario, orphaned int) {
+	if s.Faults == "" {
+		return
+	}
+	r.Orphaned = orphaned
+	if orphaned > 0 {
+		r.Deviations = append(r.Deviations,
+			fmt.Sprintf("%d page(s) still orphaned at end of run", orphaned))
 	}
 }
 

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mether/internal/fault"
+)
+
+// The fault plane is part of the deterministic event fabric: the same
+// seeded churn schedule against the same seeded workload must produce a
+// byte-identical report, run after run.
+func TestFaultedStationaryDeterministic(t *testing.T) {
+	sched := fault.Churn(42, 8, 0.25, 50*time.Millisecond, 200*time.Millisecond, 30*time.Millisecond, 2)
+	run := func() StationaryReport {
+		r, err := RunStationary(StationaryConfig{
+			Hosts: 8, Iters: 8, Seed: 7, Cap: time.Minute,
+			Faults: sched, ClaimRetries: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed + same fault schedule produced different reports:\n%+v\n%+v", a, b)
+	}
+	if a.DNF {
+		t.Errorf("churned run did not finish: %+v", a)
+	}
+	if a.UnavailNS == 0 {
+		t.Error("churn crashed hosts but UnavailNS is zero")
+	}
+	if a.Orphaned != 0 {
+		t.Errorf("%d page(s) still orphaned after churn settled", a.Orphaned)
+	}
+}
+
+// An empty fault schedule must be a true no-op: field-for-field equal to
+// a run that never heard of the fault plane. This is the neutrality
+// contract behind `-faults off` baseline comparisons.
+func TestEmptyFaultScheduleIsNeutral(t *testing.T) {
+	cfg := StationaryConfig{Hosts: 4, Iters: 8, Seed: 7, Cap: time.Minute}
+	plain, err := RunStationary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Schedule{}
+	empty, err := RunStationary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, empty) {
+		t.Errorf("empty schedule perturbed the run:\nplain %+v\nempty %+v", plain, empty)
+	}
+}
+
+// Crash/heal on the hotspot star topology: a mid-run trunk partition
+// heals and the run still completes — no livelock, no orphans — with
+// the outage visible as retry-stretched wall time against the healthy
+// run of the same seed.
+func TestHotspotPartitionHealCompletes(t *testing.T) {
+	cfg := HotspotConfig{Hosts: 8, Iters: 8, Seed: 3, Trunks: 2, OwnerTrunk: 1, Cap: time.Minute}
+	healthy, err := RunHotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Schedule{}.Partition(200*time.Millisecond, 0).Heal(900*time.Millisecond, 0)
+	r, err := RunHotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DNF {
+		t.Fatalf("partition-heal run did not finish: %+v", r)
+	}
+	if r.Orphaned != 0 {
+		t.Errorf("%d page(s) orphaned after heal", r.Orphaned)
+	}
+	if r.Wall <= healthy.Wall {
+		t.Errorf("partitioned wall %v not above healthy %v; the outage cut no traffic", r.Wall, healthy.Wall)
+	}
+}

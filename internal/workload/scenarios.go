@@ -13,6 +13,7 @@ import (
 	"mether"
 	"mether/internal/core"
 	"mether/internal/ethernet"
+	"mether/internal/fault"
 	"mether/internal/stats"
 	"mether/pipe"
 )
@@ -63,6 +64,18 @@ type ClusterStats struct {
 	// the classic single-trunk worlds.
 	TrunkUtil   []float64
 	TrunkFrames []uint64
+	// Fault-plane counters (all zero in healthy worlds, and in faulted
+	// worlds whose schedule is empty): orphaned authorities re-claimed,
+	// pre-crash grants refused by the ghost fence, authorities shipped by
+	// owner migrations, total NIC-down time, total recovery-to-first-
+	// reinstall time, and frames a partitioned bridge drained instead of
+	// replaying after its heal.
+	OrphanRecoveries     uint64
+	GhostDrops           uint64
+	MigratedPages        uint64
+	UnavailNS            time.Duration
+	RejoinNS             time.Duration
+	BridgePartitionDrops uint64
 	// MemBytes is the world's structural memory footprint after the run
 	// (World.MemFootprint): a deterministic walk of directory shards,
 	// frame tiers, rings and pools, not a runtime heap reading.
@@ -100,13 +113,22 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	cs.BridgeForwarded = bs.Forwarded
 	cs.BridgePortDrops = bs.PortDrops
 	cs.BridgeMaxQueued = bs.MaxQueued
+	cs.BridgePartitionDrops = bs.PartitionDrops
 	for i := 0; i < w.NumHosts(); i++ {
+		// Fold still-open crash/rejoin windows into the metrics before
+		// harvesting them; a no-op on healthy hosts.
+		w.Driver(i).SettleFaults(end)
 		m := w.Driver(i).Metrics()
 		cs.StaleDrops += m.StaleDrops
 		cs.CrossTrunkStale += m.CrossTrunkStale
 		cs.RedundantServes += m.RedundantServes
 		cs.RedundantSuppressed += m.RedundantSuppressed
 		cs.LateDrops += m.LateGrantDrops
+		cs.OrphanRecoveries += m.OrphanRecoveries
+		cs.GhostDrops += m.GhostDrops
+		cs.MigratedPages += m.MigratedPages
+		cs.UnavailNS += m.UnavailNS
+		cs.RejoinNS += m.RejoinNS
 	}
 	cs.TrunkUtil, cs.TrunkFrames = w.TrunkUtilization(end)
 
@@ -191,8 +213,15 @@ type HotspotConfig struct {
 	// Redundancy is the redundant-fetch fan-out k for read faults (0/1 =
 	// the classic owner-only protocol).
 	Redundancy int
-	Seed       int64
-	Cap        time.Duration
+	// Faults is the deterministic fault schedule to execute during the
+	// run (empty = healthy world, provably identical to a schedule-free
+	// run). Hotspot fault cells exercise bridge partition/heal; note that
+	// orphan re-claiming (ClaimRetries) must stay off in partitioned
+	// worlds — a claim across a partition would mint a second owner that
+	// the heal then exposes as split-brain.
+	Faults fault.Schedule
+	Seed   int64
+	Cap    time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -204,6 +233,9 @@ type HotspotReport struct {
 	Short   bool
 	Updates uint64 // total updates completed
 	DNF     bool
+	// Orphaned is the end-of-run count of pages with no consistent copy
+	// anywhere (only measured when a fault schedule ran; 0 otherwise).
+	Orphaned int
 	ClusterStats
 }
 
@@ -272,6 +304,9 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 	if cfg.WarmStart {
 		seg.WarmReplicas()
 	}
+	if err := w.InjectFaults(cfg.Faults); err != nil {
+		return HotspotReport{}, err
+	}
 	capRW := seg.CapRW()
 
 	done := make([]bool, cfg.Writers)
@@ -321,6 +356,9 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 			r.DNF = true
 			lastFinish = w.Now()
 		}
+	}
+	if !cfg.Faults.Empty() {
+		r.Orphaned = w.OrphanedPages()
 	}
 	r.ClusterStats = collectCluster(w, lastFinish, nil)
 	return r, nil

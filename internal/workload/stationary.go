@@ -16,6 +16,7 @@ import (
 	"mether"
 	"mether/internal/core"
 	"mether/internal/ethernet"
+	"mether/internal/fault"
 )
 
 // StationaryConfig parameterizes the cluster-scale stationary-owner
@@ -94,8 +95,20 @@ type StationaryConfig struct {
 	// ClusterGrid) instead of the old 4×hosts worst case, and the
 	// reported ring high-water proves the bound out.
 	RingSlots int
-	Seed      int64
-	Cap       time.Duration
+	// Faults is the deterministic fault schedule to execute during the
+	// run (empty = healthy world, provably identical to a schedule-free
+	// run): host crashes and recoveries, bridge partitions, owner
+	// migrations — all fired at virtual times under the seeded kernel.
+	Faults fault.Schedule
+	// ClaimRetries arms orphaned-ownership recovery: after this many
+	// consecutive unanswered demand retries a requester claims the page
+	// itself (generation-bumped, broadcast, deterministically arbitrated).
+	// Zero disables claiming — required in worlds whose schedule
+	// partitions bridges, where a claim across the partition would mint a
+	// second owner.
+	ClaimRetries int
+	Seed         int64
+	Cap          time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -109,6 +122,11 @@ type StationaryReport struct {
 	Updates uint64 // total own-page updates completed
 	Samples uint64 // neighbour samples observed
 	DNF     bool
+	// Orphaned is the end-of-run count of pages with no consistent copy
+	// anywhere (only measured when a fault schedule ran; 0 otherwise). A
+	// crash-and-recover cell must end with zero: every authority lost to
+	// a crash has been re-claimed.
+	Orphaned int
 	ClusterStats
 }
 
@@ -153,7 +171,7 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
 		},
 	}
-	if cfg.KernelServer || cfg.Redundancy > 1 || cfg.LazyReplicas || cfg.RetryTimeout > 0 {
+	if cfg.KernelServer || cfg.Redundancy > 1 || cfg.LazyReplicas || cfg.RetryTimeout > 0 || cfg.ClaimRetries > 0 {
 		wcfg.Core = core.DefaultConfig(pages)
 		wcfg.Core.KernelServer = cfg.KernelServer
 		wcfg.Core.Redundancy = cfg.Redundancy
@@ -161,6 +179,7 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 		if cfg.RetryTimeout > 0 {
 			wcfg.Core.RetryTimeout = cfg.RetryTimeout
 		}
+		wcfg.Core.ClaimRetries = cfg.ClaimRetries
 	}
 	if cfg.RingSlots > 0 {
 		ring := cfg.RingSlots
@@ -178,6 +197,9 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	}
 	if cfg.WarmStart {
 		seg.WarmReplicas()
+	}
+	if err := w.InjectFaults(cfg.Faults); err != nil {
+		return StationaryReport{}, err
 	}
 	capRW := seg.CapRW()
 
@@ -264,6 +286,9 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 			r.DNF = true
 			lastFinish = w.Now()
 		}
+	}
+	if !cfg.Faults.Empty() {
+		r.Orphaned = w.OrphanedPages()
 	}
 	r.ClusterStats = collectCluster(w, lastFinish, nil)
 	return r, nil
