@@ -46,6 +46,7 @@ var (
 	flagTrunks    = flag.Int("trunks", 0, "restrict the cluster grid's topology axis: 0 = full grid, 1 = classic single-trunk cells only (baseline comparisons), N>1 = every base cell on N bridged trunks")
 	flagRedund    = flag.Int("redundancy", 0, "force redundant-fetch fan-out k onto every cluster cell: 0 = default grid (explicit k cells), 1 = classic owner-only, N>1 = every read fault asks the owner plus N-1 replicas")
 	flagFaults    = flag.String("faults", "on", "cluster-grid fault cells: on = include, off = exact healthy grid (baseline comparisons), or a schedule spec like crash@150ms:h3;recover@400ms:h3 run as one extra stationary cell")
+	flagMedium    = flag.String("medium", "", "cluster-grid interconnect axis: empty = full grid incl. the /fab fabric cells, ethernet = exact pre-fabric grid (baseline comparisons), fabric = every compatible cell on the point-to-point fabric")
 	flagFormat    = flag.String("format", "json", "report format: json, csv or summary")
 	flagOut       = flag.String("o", "", "write the report to a file instead of stdout")
 	flagBaseline  = flag.String("baseline", "", "JSON report to compare against")
@@ -140,7 +141,19 @@ func main() {
 	if *flagRedund < 0 || *flagRedund > proto.MaxRedundantTargets+1 {
 		fatal(fmt.Errorf("-redundancy %d out of range (0..%d)", *flagRedund, proto.MaxRedundantTargets+1))
 	}
-	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks, Redundancy: *flagRedund, Faults: *flagFaults})
+	switch *flagMedium {
+	case "", "ethernet", "fabric":
+	default:
+		fatal(fmt.Errorf("unknown -medium %q (want ethernet or fabric)", *flagMedium))
+	}
+	// Trunks bridge Ethernet segments; the fabric has no broadcast
+	// domains to bridge. Reject the cross as a flag error rather than
+	// handing the grid builder a combination it would silently drop
+	// every cell of.
+	if *flagMedium == "fabric" && *flagTrunks > 1 {
+		fatal(fmt.Errorf("-medium fabric is incompatible with -trunks %d: trunks are an Ethernet bridging concept", *flagTrunks))
+	}
+	scs, err := sweep.Grid(*flagGrid, sweep.Options{Target: uint32(*flagTarget), Seed: *flagSeed, Hosts: *flagHosts, Trunks: *flagTrunks, Redundancy: *flagRedund, Faults: *flagFaults, Medium: *flagMedium})
 	if err != nil {
 		fatal(err)
 	}

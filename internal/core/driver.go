@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"time"
 
-	"mether/internal/ethernet"
 	"mether/internal/host"
+	"mether/internal/medium"
 	"mether/internal/proto"
 	"mether/internal/vm"
 )
@@ -121,7 +121,7 @@ func DefaultConfig(numPages int) Config {
 // server runs as its own process started by StartServer.
 type Driver struct {
 	h     *host.Host
-	nic   *ethernet.NIC
+	nic   medium.Port
 	cfg   Config
 	id    int16
 	trunk int // this host's trunk (0 when Config.TrunkOf is nil)
@@ -196,9 +196,10 @@ type workItem struct {
 	seq  uint64
 }
 
-// New creates the driver for host h using NIC n. The NIC's interrupt
-// callback must be wired (by the caller) to d.FrameArrived.
-func New(h *host.Host, n *ethernet.NIC, cfg Config) *Driver {
+// New creates the driver for host h using port n (a station on whatever
+// medium the world was built over). The port's interrupt callback must
+// be wired (by the caller) to d.FrameArrived.
+func New(h *host.Host, n medium.Port, cfg Config) *Driver {
 	if cfg.NumPages <= 0 || cfg.NumPages > addrPageMax || cfg.NumPages > proto.MaxPages {
 		panic(fmt.Sprintf("core: NumPages %d out of range", cfg.NumPages))
 	}

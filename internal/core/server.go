@@ -3,8 +3,8 @@ package core
 import (
 	"time"
 
-	"mether/internal/ethernet"
 	"mether/internal/host"
+	"mether/internal/medium"
 	"mether/internal/proto"
 )
 
@@ -368,14 +368,14 @@ func (d *Driver) transmit(p cpuSink, pkt proto.Packet) {
 	}
 	d.txBuf = buf[:0]
 	p.UseSys(d.cfg.PacketCost + time.Duration(len(pkt.Data))*d.cfg.ByteCost)
-	d.nic.Send(ethernet.Broadcast, buf)
+	d.nic.Send(medium.Broadcast, buf)
 }
 
 // handleFrame processes one received datagram. The parse goes through
 // the decode-once view cache (view.go): for a broadcast, only the first
 // of the N receiving servers actually parses the header, but every
 // receiver still pays its own simulated handling cost.
-func (d *Driver) handleFrame(p cpuSink, f ethernet.Frame) {
+func (d *Driver) handleFrame(p cpuSink, f medium.Frame) {
 	pkt, err := d.decodeFrame(f)
 	if err != nil {
 		// Corrupt datagram: charge minimal handling and drop.

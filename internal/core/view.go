@@ -1,7 +1,7 @@
 package core
 
 import (
-	"mether/internal/ethernet"
+	"mether/internal/medium"
 	"mether/internal/proto"
 )
 
@@ -15,7 +15,7 @@ import (
 //
 // rxView is the pooled decoded form of one delivered frame. The first
 // receiver to handle the frame decodes it and attaches the view to the
-// frame's shared payload buffer (ethernet.Frame.SetView); every later
+// frame's shared payload buffer (medium.Frame.SetView); every later
 // receiver of the same transmission reuses the cached view. The view's
 // packet Data aliases the payload buffer, so the view must share the
 // buffer's lifetime exactly: the bus hands it back to the pool
@@ -53,7 +53,7 @@ func (vp *ViewPool) acquire() *rxView {
 	return &rxView{}
 }
 
-// Recycle returns a view to the pool; it is the ethernet.Bus.OnViewDrop
+// Recycle returns a view to the pool; it is the medium OnViewDrop
 // hook, invoked as the view's payload buffer is recycled. Foreign values
 // are ignored so a bus shared with non-Mether receivers stays safe.
 func (vp *ViewPool) Recycle(v any) {
@@ -72,7 +72,7 @@ func (vp *ViewPool) Recycle(v any) {
 // tolerates) is left alone and the packet decoded directly, as is every
 // frame when no pool is configured: byte-for-byte the pre-cache
 // behaviour.
-func (d *Driver) decodeFrame(f ethernet.Frame) (proto.Packet, error) {
+func (d *Driver) decodeFrame(f medium.Frame) (proto.Packet, error) {
 	if rv, ok := f.View().(*rxView); ok {
 		return rv.pkt, rv.err
 	}

@@ -1,7 +1,10 @@
 // Package ethernet simulates a shared 10 Mb/s broadcast Ethernet segment
 // of the kind Mether ran on: a single serialized medium with per-frame
 // framing overhead, propagation delay, optional random frame loss, and
-// finite per-NIC receive rings whose overflow silently drops frames.
+// finite per-NIC receive rings whose overflow silently drops frames. It
+// is the first implementation of the medium contract (internal/medium):
+// core.Driver and the world builder talk to it through medium.Medium and
+// medium.Port, never through the concrete types.
 //
 // The model is deliberately simple — frames are serialized in FIFO order
 // rather than via CSMA/CD contention — because the paper's protocols are
@@ -9,12 +12,12 @@
 // not to collision micro-behaviour.
 //
 // The data path is pooled: payload buffers are refcounted and recycled
-// through a per-bus freelist, and each NIC's receive ring is a fixed
-// circular buffer sized at attach time, so steady-state traffic does not
-// allocate. Receivers that are done with a frame should hand it back
-// with NIC.Release; receivers that never release (taps, tests) merely
-// opt out of recycling — the shared buffer is garbage collected once
-// every holder drops it.
+// through a per-bus freelist (medium.Pool), and each NIC's receive ring
+// is a bounded circular buffer (medium.Ring), so steady-state traffic
+// does not allocate. Receivers that are done with a frame should hand it
+// back with NIC.Release; receivers that never release (taps, tests)
+// merely opt out of recycling — the shared buffer is garbage collected
+// once every holder drops it.
 package ethernet
 
 import (
@@ -22,12 +25,21 @@ import (
 	"time"
 	"unsafe"
 
+	"mether/internal/medium"
 	"mether/internal/sim"
 )
 
 // Broadcast is the destination address that delivers a frame to every
 // attached NIC except the sender.
-const Broadcast = -1
+const Broadcast = medium.Broadcast
+
+// Frame and Stats are the medium-contract types; the aliases keep this
+// package's historical API (ethernet.Frame, ethernet.Stats) intact for
+// the layers that name them.
+type (
+	Frame = medium.Frame
+	Stats = medium.Stats
+)
 
 // Params configures the simulated segment. The zero value is not useful;
 // start from DefaultParams.
@@ -69,44 +81,18 @@ func DefaultParams() Params {
 	}
 }
 
-// frameBuf is a pooled payload buffer shared by every receiver of one
-// transmission. refs counts ring slots (and in-flight deliveries) still
-// holding the buffer; it returns to the freelist at zero. view is the
-// decode-once cache: the first receiver to parse the payload attaches
-// its decoded form here and every later receiver of the same
-// transmission reuses it, so a broadcast is parsed once instead of once
-// per station. The view shares the buffer's lifetime exactly — it is
-// handed to the bus's view recycler (and detached) at the same instant
-// the buffer's refcount reaches zero.
-type frameBuf struct {
-	data []byte // full-capacity backing array
-	refs int
-	view any
-}
-
-// Frame is one datagram on the segment. Payload is valid until the
-// receiver calls Release (or indefinitely for receivers that never
-// release); the bus copies the sender's bytes on Send, so one buffer is
-// shared by all receivers of a broadcast.
-type Frame struct {
-	Src     int // sending NIC id
-	Dst     int // receiving NIC id or Broadcast
-	Payload []byte
-
-	buf *frameBuf // pool bookkeeping; nil for zero-value Frames
-}
-
-// Stats aggregates segment-wide counters.
-type Stats struct {
-	Frames       uint64 // frames transmitted
-	WireBytes    uint64 // bytes on the wire including overhead and padding
-	PayloadBytes uint64 // payload bytes only
-	WireLost     uint64 // frames corrupted on the wire (LossRate)
-	RingDrops    uint64 // per-receiver drops due to full rings
-	TxSuppressed uint64 // sends swallowed because the transmitting NIC was down
-	// RingHighWater is the peak receive-ring occupancy of any NIC on the
-	// segment: the evidence that a ring's configured capacity was (or was
-	// not) actually needed. Aggregated by max, never summed.
+// wireStats is the segment's own counter block. It deliberately holds
+// only the fields a shared bus produces — the medium.Stats link-queue
+// block exists for point-to-point media and stays zero here — so the
+// Bus struct (whose size enters MemFootprint and therefore gated
+// reports) does not grow when the shared Stats type does.
+type wireStats struct {
+	Frames        uint64
+	WireBytes     uint64
+	PayloadBytes  uint64
+	WireLost      uint64
+	RingDrops     uint64
+	TxSuppressed  uint64
 	RingHighWater int
 	BusyTime      time.Duration
 }
@@ -119,18 +105,16 @@ type Bus struct {
 	p         Params
 	nics      []*NIC
 	busyUntil time.Duration
-	stats     Stats
-	free      []*frameBuf // payload buffer pool
+	stats     wireStats
+	pool      medium.Pool // shared payload buffers (refcounted, recycled)
 	freeDeliv []*delivery // delivery-event pool
-	// allocated counts payload buffers ever created for this bus; with
-	// every receiver releasing its frames, a quiescent bus has all of
-	// them back on the freelist (see PoolStats).
-	allocated int
-	// viewDrop, when set, receives each payload buffer's decode-once
-	// view as the buffer is recycled, so the layer that attached the
-	// view (which this package knows nothing about) can pool it.
-	viewDrop func(any)
 }
+
+// Bus and NIC implement the medium contract.
+var (
+	_ medium.Medium = (*Bus)(nil)
+	_ medium.Port   = (*NIC)(nil)
+)
 
 // delivery is a pooled in-flight transmission: the frame plus two
 // pre-built event closures — one per delivery shape — so Send schedules
@@ -159,14 +143,24 @@ func (b *Bus) Params() Params { return b.p }
 
 // Stats returns a snapshot of the segment counters. Ring drops and
 // suppressed transmissions are summed over all NICs; the ring high-water
-// mark is the max.
+// mark is the max. The link-queue fields of medium.Stats are always
+// zero: a shared bus has no per-link queues and pays no fan-out.
 func (b *Bus) Stats() Stats {
-	s := b.stats
+	s := Stats{
+		Frames:        b.stats.Frames,
+		WireBytes:     b.stats.WireBytes,
+		PayloadBytes:  b.stats.PayloadBytes,
+		WireLost:      b.stats.WireLost,
+		RingDrops:     b.stats.RingDrops,
+		TxSuppressed:  b.stats.TxSuppressed,
+		RingHighWater: b.stats.RingHighWater,
+		BusyTime:      b.stats.BusyTime,
+	}
 	for _, n := range b.nics {
 		s.RingDrops += n.drops
 		s.TxSuppressed += n.txSuppressed
-		if n.highWater > s.RingHighWater {
-			s.RingHighWater = n.highWater
+		if hw := n.rx.HighWater(); hw > s.RingHighWater {
+			s.RingHighWater = hw
 		}
 	}
 	return s
@@ -180,23 +174,6 @@ func (b *Bus) Utilization(wall time.Duration) float64 {
 	return float64(b.stats.BusyTime) / float64(wall)
 }
 
-// acquire takes a payload buffer of length n from the pool.
-func (b *Bus) acquire(n int) *frameBuf {
-	if l := len(b.free); l > 0 {
-		fb := b.free[l-1]
-		b.free[l-1] = nil
-		b.free = b.free[:l-1]
-		if cap(fb.data) < n {
-			fb.data = make([]byte, n)
-		}
-		fb.data = fb.data[:n]
-		fb.refs = 0
-		return fb
-	}
-	b.allocated++
-	return &frameBuf{data: make([]byte, n)}
-}
-
 // MemFootprint returns the segment's structural memory footprint in
 // bytes: every NIC's physically allocated ring plus the pooled payload
 // buffers and delivery records currently on the freelists. Like the
@@ -207,10 +184,7 @@ func (b *Bus) MemFootprint() uint64 {
 	for _, n := range b.nics {
 		m += uint64(unsafe.Sizeof(n)) + n.MemFootprint()
 	}
-	for _, fb := range b.free {
-		m += uint64(unsafe.Sizeof(*fb)) + uint64(cap(fb.data))
-	}
-	m += uint64(cap(b.free)) * uint64(unsafe.Sizeof((*frameBuf)(nil)))
+	m += b.pool.MemFootprint()
 	m += uint64(cap(b.freeDeliv)) * uint64(unsafe.Sizeof((*delivery)(nil)))
 	m += uint64(len(b.freeDeliv)) * uint64(unsafe.Sizeof(delivery{}))
 	return m
@@ -222,33 +196,13 @@ func (b *Bus) MemFootprint() uint64 {
 // a gap is a leaked (never-released) buffer. Leak-detecting tests
 // assert exactly that across protocol exchanges.
 func (b *Bus) PoolStats() (allocated, free int) {
-	return b.allocated, len(b.free)
-}
-
-// releaseBuf drops one reference, recycling the buffer at zero. The
-// buffer's decode-once view is detached (and handed to the view
-// recycler) at the same instant: the view aliases the payload bytes, so
-// it must not outlive the buffer's current contents.
-func (b *Bus) releaseBuf(fb *frameBuf) {
-	if fb == nil || fb.refs <= 0 {
-		return
-	}
-	fb.refs--
-	if fb.refs == 0 {
-		if fb.view != nil {
-			if b.viewDrop != nil {
-				b.viewDrop(fb.view)
-			}
-			fb.view = nil
-		}
-		b.free = append(b.free, fb)
-	}
+	return b.pool.Stats()
 }
 
 // OnViewDrop registers the recycler invoked with a buffer's decode-once
 // view when the buffer returns to the pool. Typically wired by the world
 // builder to the protocol layer's view pool.
-func (b *Bus) OnViewDrop(fn func(any)) { b.viewDrop = fn }
+func (b *Bus) OnViewDrop(fn func(any)) { b.pool.OnViewDrop(fn) }
 
 // Attach adds a NIC to the segment with the segment-default ring
 // capacity (Params.RxRing). intr is invoked in kernel event context
@@ -264,32 +218,34 @@ func (b *Bus) Attach(name string, intr func()) *NIC {
 // role keeps a world's ring memory proportional to its real fan-in
 // instead of hosts × uniform-worst-case.
 func (b *Bus) AttachWithRing(name string, intr func(), ringCap int) *NIC {
-	if ringCap < 0 {
-		ringCap = 0
-	}
-	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr, ringCap: ringCap}
+	n := &NIC{bus: b, id: len(b.nics), name: name, intr: intr, rx: medium.NewRing(ringCap)}
 	b.nics = append(b.nics, n)
 	return n
 }
 
-// NIC is one station on the segment. Its receive ring is a circular
-// buffer bounded by ringCap logical slots: arrivals beyond the bound
-// are dropped exactly as a fixed ring of that size would, but the
-// backing array starts empty and doubles with actual occupancy, so an
-// idle or lightly-loaded station never pays for its worst case.
+// AttachPort and AttachPortWithRing are the medium-contract attach
+// surface: identical to Attach/AttachWithRing, returning the NIC as a
+// medium.Port. (Separate methods only because the concrete returns
+// above predate the contract and the bridge/topology layers use them.)
+func (b *Bus) AttachPort(name string, intr func()) medium.Port {
+	return b.Attach(name, intr)
+}
+
+// AttachPortWithRing attaches with an explicit ring bound; see AttachPort.
+func (b *Bus) AttachPortWithRing(name string, intr func(), ringCap int) medium.Port {
+	return b.AttachWithRing(name, intr, ringCap)
+}
+
+// NIC is one station on the segment; it implements medium.Port. Its
+// receive ring is bounded by a logical slot count with lazily grown
+// physical storage (medium.Ring).
 type NIC struct {
-	bus     *Bus
-	id      int
-	name    string
-	ring    []Frame // circular physical storage; grows up to ringCap
-	ringCap int     // logical capacity: the drop threshold
-	head    int
-	count   int
-	// highWater is the peak occupancy ever reached — the measured fan-in
-	// that proves (or disproves) the configured capacity was needed.
-	highWater int
-	intr      func()
-	drops     uint64
+	bus   *Bus
+	id    int
+	name  string
+	rx    medium.Ring
+	intr  func()
+	drops uint64
 	// txSuppressed counts Send calls swallowed because the station was
 	// down. Before the counter existed these vanished without a trace,
 	// which made down-NIC scenarios undebuggable: the sender's protocol
@@ -323,33 +279,26 @@ func (n *NIC) Drops() uint64 { return n.drops }
 func (n *NIC) TxSuppressed() uint64 { return n.txSuppressed }
 
 // Pending returns the number of frames waiting in the receive ring.
-func (n *NIC) Pending() int { return n.count }
+func (n *NIC) Pending() int { return n.rx.Pending() }
 
 // RingHighWater returns the peak receive-ring occupancy this NIC ever
 // reached.
-func (n *NIC) RingHighWater() int { return n.highWater }
+func (n *NIC) RingHighWater() int { return n.rx.HighWater() }
 
 // RingCap returns the logical receive-ring capacity (the drop bound).
-func (n *NIC) RingCap() int { return n.ringCap }
+func (n *NIC) RingCap() int { return n.rx.Bound() }
 
 // MemFootprint returns the NIC's structural memory footprint in bytes
 // (the physically allocated ring slots — the lazily grown array, not
 // the logical bound).
 func (n *NIC) MemFootprint() uint64 {
-	return uint64(unsafe.Sizeof(*n)) + uint64(cap(n.ring))*uint64(unsafe.Sizeof(Frame{}))
+	return uint64(unsafe.Sizeof(*n)) + n.rx.MemFootprint()
 }
 
 // Recv dequeues the oldest received frame, reporting false if the ring
 // is empty. The frame's payload remains valid until Release.
 func (n *NIC) Recv() (Frame, bool) {
-	if n.count == 0 {
-		return Frame{}, false
-	}
-	f := n.ring[n.head]
-	n.ring[n.head] = Frame{}
-	n.head = (n.head + 1) % len(n.ring)
-	n.count--
-	return f, true
+	return n.rx.Pop()
 }
 
 // Release returns a received frame's payload buffer to the segment's
@@ -360,30 +309,7 @@ func (n *NIC) Recv() (Frame, bool) {
 // path allocation-free. Release must be called at most once per
 // received frame, after which the payload must not be touched.
 func (n *NIC) Release(f Frame) {
-	n.bus.releaseBuf(f.buf)
-}
-
-// View returns the decode-once view attached to this frame's shared
-// payload buffer, or nil when no receiver has decoded it yet (or the
-// frame does not come from a pooled buffer). All receivers of one
-// transmission see the same view.
-func (f Frame) View() any {
-	if f.buf == nil {
-		return nil
-	}
-	return f.buf.view
-}
-
-// SetView attaches a decoded view to the frame's shared payload buffer
-// for later receivers of the same transmission to reuse. The view must
-// be derived from (and may alias) the payload bytes: it lives exactly as
-// long as the buffer's current contents and is handed to the bus's
-// OnViewDrop recycler when the buffer is recycled. A no-op for frames
-// without a pooled buffer.
-func (f Frame) SetView(v any) {
-	if f.buf != nil {
-		f.buf.view = v
-	}
+	n.bus.pool.Release(f.Buf)
 }
 
 // wireBytes returns the on-wire size of a payload.
@@ -413,14 +339,14 @@ func (n *NIC) Send(dst int, payload []byte) {
 		return
 	}
 	b := n.bus
-	fb := b.acquire(len(payload))
-	copy(fb.data, payload)
+	fb := b.pool.Acquire(len(payload))
+	copy(fb.Data, payload)
 	// The in-flight transmission itself holds one reference until the
 	// delivery fan-out completes, so an interrupt-context receiver that
 	// drains and releases mid-fan-out cannot recycle the buffer under
 	// the remaining receivers.
-	fb.refs = 1
-	f := Frame{Src: n.id, Dst: dst, Payload: fb.data, buf: fb}
+	fb.Refs = 1
+	f := Frame{Src: n.id, Dst: dst, Payload: fb.Data, Buf: fb}
 
 	wire := b.wireBytes(len(payload))
 	start := b.k.Now()
@@ -494,7 +420,7 @@ func (d *delivery) runBroadcast() {
 // itself.
 func (d *delivery) finish() {
 	b := d.b
-	b.releaseBuf(d.f.buf) // drop the in-flight reference
+	b.pool.Release(d.f.Buf) // drop the in-flight reference
 	d.f = Frame{}
 	d.lost = false
 	b.freeDeliv = append(b.freeDeliv, d)
@@ -508,41 +434,14 @@ func (rx *NIC) deliver(f Frame) {
 	if rx.down {
 		return
 	}
-	if rx.count >= rx.ringCap {
+	if !rx.rx.Push(f) {
 		rx.drops++
 		return
 	}
-	if rx.count == len(rx.ring) {
-		rx.grow()
-	}
-	rx.ring[(rx.head+rx.count)%len(rx.ring)] = f
-	rx.count++
-	if rx.count > rx.highWater {
-		rx.highWater = rx.count
-	}
-	f.buf.refs++
+	f.Buf.Refs++
 	if rx.intr != nil {
 		rx.intr()
 	}
-}
-
-// grow doubles the ring's physical storage (bounded by ringCap),
-// unwrapping the circular contents into FIFO order at the front of the
-// new array.
-func (rx *NIC) grow() {
-	size := 2 * len(rx.ring)
-	if size < 8 {
-		size = 8
-	}
-	if size > rx.ringCap {
-		size = rx.ringCap
-	}
-	grown := make([]Frame, size)
-	for i := 0; i < rx.count; i++ {
-		grown[i] = rx.ring[(rx.head+i)%len(rx.ring)]
-	}
-	rx.ring = grown
-	rx.head = 0
 }
 
 func (n *NIC) String() string {

@@ -142,8 +142,8 @@ func TestReleasedBuffersAreRecycled(t *testing.T) {
 	}
 	first := &f1.Payload[0]
 	rx.Release(f1)
-	if len(bus.free) != 1 {
-		t.Fatalf("pool holds %d buffers after release, want 1", len(bus.free))
+	if _, free := bus.PoolStats(); free != 1 {
+		t.Fatalf("pool holds %d buffers after release, want 1", free)
 	}
 
 	tx.Send(rx.ID(), []byte{0x11, 0x22})
@@ -179,12 +179,12 @@ func TestBroadcastBufferSharedUntilAllRelease(t *testing.T) {
 		t.Fatal("broadcast receivers should share one payload buffer")
 	}
 	a.Release(fa)
-	if len(bus.free) != 0 {
+	if _, free := bus.PoolStats(); free != 0 {
 		t.Fatal("buffer recycled while another receiver still holds it")
 	}
 	b.Release(fb)
-	if len(bus.free) != 1 {
-		t.Fatalf("pool holds %d buffers after final release, want 1", len(bus.free))
+	if _, free := bus.PoolStats(); free != 1 {
+		t.Fatalf("pool holds %d buffers after final release, want 1", free)
 	}
 }
 

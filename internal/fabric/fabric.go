@@ -1,0 +1,460 @@
+// Package fabric simulates an RDMA-like point-to-point interconnect: the
+// second implementation of the medium contract (internal/medium), next
+// to the paper's shared broadcast Ethernet. Every ordered pair of ports
+// is its own link with independent bandwidth and a fixed link latency;
+// frames on one link serialize FIFO behind each other but never contend
+// with traffic between other ports. There is no broadcast domain at all:
+// a Send to medium.Broadcast is expanded by the fabric into one unicast
+// copy per attached destination, each charged full wire cost on its own
+// link — the cost inversion modern interconnects impose on Mether's
+// broadcast-everything protocol. On the shared bus a broadcast costs one
+// transmission no matter how many stations listen; here it costs N-1,
+// paid by the sender, while unicasts stop interfering with each other.
+// Which of the paper's conclusions survive that inversion is exactly
+// what the ethernet-vs-fabric sweep axis measures.
+//
+// Each link also has a bounded transmit queue: at most Params.TxQueue
+// frames may be in flight (queued or serializing) per link, and sends
+// beyond the bound are dropped and counted (Stats.LinkOverflows) — the
+// fabric's analogue of receive-ring overrun, surfaced separately so a
+// sweep can tell sender-side from receiver-side loss. Peak per-link
+// occupancy is reported as Stats.LinkMaxQueued.
+//
+// The data path reuses the shared pooled machinery: refcounted payload
+// buffers with the decode-once view cache (a fan-out's copies share one
+// buffer and one decoded view), pooled delivery records with prebuilt
+// closures, and lazily grown bounded receive rings. Steady-state traffic
+// does not allocate, on either medium.
+package fabric
+
+import (
+	"fmt"
+	"time"
+	"unsafe"
+
+	"mether/internal/medium"
+	"mether/internal/sim"
+)
+
+// Params configures the fabric. The zero value is not useful; start from
+// DefaultParams.
+type Params struct {
+	// BandwidthBps is each link's independent signalling rate in bits
+	// per second. Links do not share it: ten busy links move ten times
+	// the bytes of one.
+	BandwidthBps int64
+	// LinkLatency is the fixed propagation delay of every link, applied
+	// after serialization.
+	LinkLatency time.Duration
+	// FrameOverhead is the per-frame byte overhead added to the payload
+	// on the wire (a lean RDMA-style transport header, not the shared
+	// bus's Ethernet+IP+UDP stack).
+	FrameOverhead int
+	// MinFrameBytes is the minimum wire size of a frame; shorter frames
+	// are padded.
+	MinFrameBytes int
+	// LossRate is the probability that a transmitted frame is corrupted
+	// and delivered to no one. Rolled per fan-out copy: on a
+	// point-to-point medium each copy is its own transmission.
+	LossRate float64
+	// RxRing is the per-port receive ring capacity; arrivals beyond it
+	// are dropped.
+	RxRing int
+	// TxQueue bounds the frames in flight (queued or serializing) on one
+	// link; sends beyond it are dropped and counted as link overflows.
+	TxQueue int
+}
+
+// DefaultParams returns a modest RDMA-like fabric: 1 Gb/s per link, 2µs
+// link latency, 26 bytes of transport-header overhead, 64-byte minimum
+// frames, 32-frame receive rings and 64-frame link transmit queues. The
+// receive-ring default matches the Ethernet model so medium comparisons
+// vary the wire, not the host's buffering.
+func DefaultParams() Params {
+	return Params{
+		BandwidthBps:  1_000_000_000,
+		LinkLatency:   2 * time.Microsecond,
+		FrameOverhead: 26,
+		MinFrameBytes: 64,
+		LossRate:      0,
+		RxRing:        32,
+		TxQueue:       64,
+	}
+}
+
+// link is the transmit side of one ordered (src,dst) pair: its own FIFO
+// serialization horizon and in-flight bound. Links materialize on first
+// use, so an N-port fabric allocates state proportional to the pairs
+// that actually talk, not N².
+type link struct {
+	busyUntil time.Duration
+	pending   int // frames queued or serializing, bounded by TxQueue
+}
+
+// Fabric is one point-to-point interconnect instance implementing
+// medium.Medium. Port ids are dense attach-order indexes, shared with
+// the link table.
+type Fabric struct {
+	k     *sim.Kernel
+	p     Params
+	ports []*Port
+	// links[src][dst] is the (src,dst) transmit link, nil until first
+	// used. The per-src rows are also lazy: a port that never sends
+	// costs one nil slice.
+	links [][]*link
+
+	frames        uint64
+	wireBytes     uint64
+	payloadBytes  uint64
+	wireLost      uint64
+	busyTime      time.Duration
+	fanoutFrames  uint64
+	linkOverflows uint64
+	linkMaxQueued int
+
+	pool      medium.Pool // shared payload buffers (refcounted, recycled)
+	freeDeliv []*delivery // delivery-event pool
+}
+
+var (
+	_ medium.Medium = (*Fabric)(nil)
+	_ medium.Port   = (*Port)(nil)
+)
+
+// delivery is a pooled in-flight transmission on one link: the frame,
+// its loss fate, the destination link (for pending accounting) and a
+// prebuilt completion closure, so Send schedules without allocating.
+type delivery struct {
+	fb   *Fabric
+	f    medium.Frame
+	l    *link
+	lost bool
+	fn   func()
+}
+
+// New creates a fabric driven by kernel k.
+func New(k *sim.Kernel, p Params) *Fabric {
+	if p.BandwidthBps <= 0 {
+		panic("fabric: BandwidthBps must be positive")
+	}
+	if p.TxQueue <= 0 {
+		panic("fabric: TxQueue must be positive")
+	}
+	return &Fabric{k: k, p: p}
+}
+
+// Params returns the fabric's configuration.
+func (fb *Fabric) Params() Params { return fb.p }
+
+// AttachPort adds a port with the fabric-default receive-ring capacity.
+func (fb *Fabric) AttachPort(name string, intr func()) medium.Port {
+	return fb.attach(name, intr, fb.p.RxRing)
+}
+
+// AttachPortWithRing adds a port with an explicit receive-ring bound.
+func (fb *Fabric) AttachPortWithRing(name string, intr func(), ringCap int) medium.Port {
+	return fb.attach(name, intr, ringCap)
+}
+
+func (fb *Fabric) attach(name string, intr func(), ringCap int) *Port {
+	p := &Port{fab: fb, id: len(fb.ports), name: name, intr: intr, rx: medium.NewRing(ringCap)}
+	fb.ports = append(fb.ports, p)
+	fb.links = append(fb.links, nil)
+	return p
+}
+
+// linkTo returns (materializing if needed) the src→dst link.
+func (fb *Fabric) linkTo(src, dst int) *link {
+	row := fb.links[src]
+	if row == nil {
+		row = make([]*link, len(fb.ports))
+		fb.links[src] = row
+	} else if len(row) < len(fb.ports) {
+		grown := make([]*link, len(fb.ports))
+		copy(grown, row)
+		row = grown
+		fb.links[src] = row
+	}
+	l := row[dst]
+	if l == nil {
+		l = &link{}
+		row[dst] = l
+	}
+	return l
+}
+
+// Stats snapshots the fabric-wide counters. Ring drops and suppressed
+// transmissions are summed over ports, ring high water by max. BusyTime
+// sums serialization over all links, so on a busy fabric it exceeds wall
+// time — that surplus is the parallelism a shared bus doesn't have.
+func (fb *Fabric) Stats() medium.Stats {
+	s := medium.Stats{
+		Frames:        fb.frames,
+		WireBytes:     fb.wireBytes,
+		PayloadBytes:  fb.payloadBytes,
+		WireLost:      fb.wireLost,
+		BusyTime:      fb.busyTime,
+		FanoutFrames:  fb.fanoutFrames,
+		LinkOverflows: fb.linkOverflows,
+		LinkMaxQueued: fb.linkMaxQueued,
+	}
+	for _, p := range fb.ports {
+		s.RingDrops += p.drops
+		s.TxSuppressed += p.txSuppressed
+		if hw := p.rx.HighWater(); hw > s.RingHighWater {
+			s.RingHighWater = hw
+		}
+	}
+	return s
+}
+
+// Utilization reports summed link busy time as a fraction of wall time;
+// values above 1 mean more than one link's worth of parallel transfer.
+func (fb *Fabric) Utilization(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(fb.busyTime) / float64(wall)
+}
+
+// MemFootprint returns the fabric's structural memory footprint in
+// bytes: ports and their rings, the materialized link table, and the
+// pooled buffers and delivery records on the freelists. Deterministic by
+// construction, like every footprint in the tree.
+func (fb *Fabric) MemFootprint() uint64 {
+	m := uint64(unsafe.Sizeof(*fb))
+	for _, p := range fb.ports {
+		m += uint64(unsafe.Sizeof(p)) + p.MemFootprint()
+	}
+	m += uint64(cap(fb.links)) * uint64(unsafe.Sizeof([]*link(nil)))
+	for _, row := range fb.links {
+		m += uint64(cap(row)) * uint64(unsafe.Sizeof((*link)(nil)))
+		for _, l := range row {
+			if l != nil {
+				m += uint64(unsafe.Sizeof(*l))
+			}
+		}
+	}
+	m += fb.pool.MemFootprint()
+	m += uint64(cap(fb.freeDeliv)) * uint64(unsafe.Sizeof((*delivery)(nil)))
+	m += uint64(len(fb.freeDeliv)) * uint64(unsafe.Sizeof(delivery{}))
+	return m
+}
+
+// PoolStats reports payload buffers ever allocated and currently free.
+func (fb *Fabric) PoolStats() (allocated, free int) { return fb.pool.Stats() }
+
+// OnViewDrop registers the decode-once view recycler.
+func (fb *Fabric) OnViewDrop(fn func(any)) { fb.pool.OnViewDrop(fn) }
+
+// wireBytesFor returns the on-wire size of a payload.
+func (fb *Fabric) wireBytesFor(payload int) int {
+	w := payload + fb.p.FrameOverhead
+	if w < fb.p.MinFrameBytes {
+		w = fb.p.MinFrameBytes
+	}
+	return w
+}
+
+// txTime returns the serialization delay for one frame of the given
+// on-wire size on one link.
+func (fb *Fabric) txTime(wire int) time.Duration {
+	bits := int64(wire) * 8
+	return time.Duration(bits * int64(time.Second) / fb.p.BandwidthBps)
+}
+
+// Port is one station on the fabric; it implements medium.Port.
+type Port struct {
+	fab   *Fabric
+	id    int
+	name  string
+	rx    medium.Ring
+	intr  func()
+	drops uint64
+	// txSuppressed counts Send calls swallowed because the port was
+	// down, mirroring the Ethernet NIC's fault-plane accounting.
+	txSuppressed uint64
+	down         bool
+}
+
+// ID returns the port's address on the fabric.
+func (p *Port) ID() int { return p.id }
+
+// Name returns the diagnostic name given at attach.
+func (p *Port) Name() string { return p.name }
+
+// SetDown takes the port off the fabric (or back on): while down it
+// neither receives nor transmits. Host state is untouched.
+func (p *Port) SetDown(down bool) { p.down = down }
+
+// Down reports whether the port is off the fabric.
+func (p *Port) Down() bool { return p.down }
+
+// Drops returns frames dropped because this port's receive ring was full.
+func (p *Port) Drops() uint64 { return p.drops }
+
+// TxSuppressed returns Send calls swallowed while this port was down.
+func (p *Port) TxSuppressed() uint64 { return p.txSuppressed }
+
+// Pending returns the number of frames waiting in the receive ring.
+func (p *Port) Pending() int { return p.rx.Pending() }
+
+// RingHighWater returns the peak receive-ring occupancy reached.
+func (p *Port) RingHighWater() int { return p.rx.HighWater() }
+
+// RingCap returns the logical receive-ring bound.
+func (p *Port) RingCap() int { return p.rx.Bound() }
+
+// MemFootprint returns the port's structural footprint in bytes.
+func (p *Port) MemFootprint() uint64 {
+	return uint64(unsafe.Sizeof(*p)) + p.rx.MemFootprint()
+}
+
+// Recv dequeues the oldest received frame, reporting false if the ring
+// is empty.
+func (p *Port) Recv() (medium.Frame, bool) { return p.rx.Pop() }
+
+// Release returns a received frame's payload buffer to the fabric's pool.
+func (p *Port) Release(f medium.Frame) { p.fab.pool.Release(f.Buf) }
+
+// Send transmits payload to dst (a port id or medium.Broadcast). A
+// unicast travels the single src→dst link. A Broadcast has no shared
+// wire to ride: the fabric expands it into one copy per attached
+// destination (ascending id, sender excluded), each serialized on its
+// own link and charged full wire cost — those copies are additionally
+// counted in Stats.FanoutFrames. All copies share one pooled payload
+// buffer and therefore one decode-once view. A send from a down port is
+// suppressed and counted; a unicast to an unattached id or to the
+// sender itself reaches no one and costs nothing, exactly as on the
+// shared bus.
+func (p *Port) Send(dst int, payload []byte) {
+	if p.down {
+		p.txSuppressed++
+		return
+	}
+	fb := p.fab
+	if dst != medium.Broadcast {
+		if dst < 0 || dst >= len(fb.ports) || dst == p.id {
+			return
+		}
+		buf := fb.pool.Acquire(len(payload))
+		copy(buf.Data, payload)
+		// One in-flight reference, dropped when the delivery completes.
+		buf.Refs = 1
+		fb.transmit(p.id, dst, buf)
+		return
+	}
+	if len(fb.ports) <= 1 {
+		return
+	}
+	buf := fb.pool.Acquire(len(payload))
+	copy(buf.Data, payload)
+	// One in-flight reference per fan-out copy: each copy's completion
+	// releases its own, so the shared buffer (and its decode-once view)
+	// lives exactly until the last copy lands or is lost. The extra
+	// sender-side reference pins the buffer for the duration of the loop:
+	// without it, an overflow on the first link would recycle the buffer
+	// while later copies still transmit it.
+	buf.Refs = 1
+	for dst := 0; dst < len(fb.ports); dst++ {
+		if dst == p.id {
+			continue
+		}
+		buf.Refs++
+		if fb.transmit(p.id, dst, buf) {
+			fb.fanoutFrames++
+		}
+	}
+	fb.pool.Release(buf)
+}
+
+// transmit serializes one copy on the src→dst link, reporting whether it
+// made it past the link's transmit-queue bound. Overflowed copies are
+// dropped on the spot — no wire cost, one overflow count — and release
+// their buffer reference immediately.
+func (fb *Fabric) transmit(src, dst int, buf *medium.Buf) bool {
+	l := fb.linkTo(src, dst)
+	if l.pending >= fb.p.TxQueue {
+		fb.linkOverflows++
+		fb.pool.Release(buf)
+		return false
+	}
+	l.pending++
+	if l.pending > fb.linkMaxQueued {
+		fb.linkMaxQueued = l.pending
+	}
+
+	wire := fb.wireBytesFor(len(buf.Data))
+	start := fb.k.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	dur := fb.txTime(wire)
+	l.busyUntil = start + dur
+
+	fb.frames++
+	fb.wireBytes += uint64(wire)
+	fb.payloadBytes += uint64(len(buf.Data))
+	fb.busyTime += dur
+
+	d := fb.acquireDeliv()
+	d.f = medium.Frame{Src: src, Dst: dst, Payload: buf.Data, Buf: buf}
+	d.l = l
+	d.lost = fb.p.LossRate > 0 && fb.k.Rand().Float64() < fb.p.LossRate
+	fb.k.At(start+dur+fb.p.LinkLatency, "fabric deliver", d.fn)
+	return true
+}
+
+// acquireDeliv takes a delivery record (with its prebuilt closure) from
+// the pool.
+func (fb *Fabric) acquireDeliv() *delivery {
+	if l := len(fb.freeDeliv); l > 0 {
+		d := fb.freeDeliv[l-1]
+		fb.freeDeliv[l-1] = nil
+		fb.freeDeliv = fb.freeDeliv[:l-1]
+		return d
+	}
+	d := &delivery{fb: fb}
+	d.fn = func() { d.run() }
+	return d
+}
+
+// run completes one link delivery: the frame leaves the link's transmit
+// queue, then lands in the destination ring (or is lost, or dropped).
+func (d *delivery) run() {
+	fb := d.fb
+	d.l.pending--
+	if d.lost {
+		fb.wireLost++
+	} else {
+		fb.ports[d.f.Dst].deliver(d.f)
+	}
+	// Drop this copy's in-flight reference and recycle the record.
+	fb.pool.Release(d.f.Buf)
+	d.f = medium.Frame{}
+	d.l = nil
+	d.lost = false
+	fb.freeDeliv = append(fb.freeDeliv, d)
+}
+
+// deliver queues a frame into the receive ring, dropping on overflow.
+// Unlike the broadcast bus, the frame arrives stamped with its actual
+// destination id, not medium.Broadcast — on a fabric every frame is
+// somebody's unicast.
+func (p *Port) deliver(f medium.Frame) {
+	if p.down {
+		return
+	}
+	if !p.rx.Push(f) {
+		p.drops++
+		return
+	}
+	f.Buf.Refs++
+	if p.intr != nil {
+		p.intr()
+	}
+}
+
+func (p *Port) String() string {
+	return fmt.Sprintf("port %d (%s)", p.id, p.name)
+}

@@ -1,0 +1,134 @@
+package medium
+
+import "unsafe"
+
+// Buf is a pooled payload buffer shared by every receiver of one
+// transmission. Refs counts ring slots (and in-flight deliveries) still
+// holding the buffer; it returns to its Pool's freelist at zero. view
+// is the decode-once cache: the first receiver to parse the payload
+// attaches its decoded form and every later receiver of the same
+// transmission reuses it, so a broadcast is parsed once instead of once
+// per station. The view shares the buffer's lifetime exactly — it is
+// handed to the pool's view recycler (and detached) at the same instant
+// the refcount reaches zero.
+type Buf struct {
+	Data []byte // full-capacity backing array
+	Refs int
+	view any
+}
+
+// Frame is one datagram on a medium. Payload is valid until the
+// receiver calls Release (or indefinitely for receivers that never
+// release); the medium copies the sender's bytes on Send, so one buffer
+// is shared by all receivers of a broadcast. On a shared bus a
+// broadcast frame carries Dst == Broadcast to every receiver; a
+// point-to-point medium stamps each fan-out copy with its actual
+// destination.
+type Frame struct {
+	Src     int // sending port id
+	Dst     int // receiving port id or Broadcast
+	Payload []byte
+
+	Buf *Buf // pool bookkeeping; nil for zero-value Frames
+}
+
+// View returns the decode-once view attached to this frame's shared
+// payload buffer, or nil when no receiver has decoded it yet (or the
+// frame does not come from a pooled buffer). All receivers of one
+// transmission see the same view.
+func (f Frame) View() any {
+	if f.Buf == nil {
+		return nil
+	}
+	return f.Buf.view
+}
+
+// SetView attaches a decoded view to the frame's shared payload buffer
+// for later receivers of the same transmission to reuse. The view must
+// be derived from (and may alias) the payload bytes: it lives exactly
+// as long as the buffer's current contents and is handed to the pool's
+// OnViewDrop recycler when the buffer is recycled. A no-op for frames
+// without a pooled buffer.
+func (f Frame) SetView(v any) {
+	if f.Buf != nil {
+		f.Buf.view = v
+	}
+}
+
+// Pool recycles payload buffers for one medium. Worlds are
+// single-threaded simulations, so the pool needs no locking. The zero
+// value is ready to use; media embed it by value.
+type Pool struct {
+	free []*Buf
+	// allocated counts buffers ever created; with every receiver
+	// releasing its frames, a quiescent medium has all of them back on
+	// the freelist (see Stats).
+	allocated int
+	// viewDrop, when set, receives each buffer's decode-once view as
+	// the buffer is recycled, so the layer that attached the view
+	// (which this package knows nothing about) can pool it.
+	viewDrop func(any)
+}
+
+// Acquire takes a buffer of length n from the pool, growing the backing
+// array only when a pooled buffer is too small.
+func (p *Pool) Acquire(n int) *Buf {
+	if l := len(p.free); l > 0 {
+		b := p.free[l-1]
+		p.free[l-1] = nil
+		p.free = p.free[:l-1]
+		if cap(b.Data) < n {
+			b.Data = make([]byte, n)
+		}
+		b.Data = b.Data[:n]
+		b.Refs = 0
+		return b
+	}
+	p.allocated++
+	return &Buf{Data: make([]byte, n)}
+}
+
+// Release drops one reference, recycling the buffer at zero. The
+// buffer's decode-once view is detached (and handed to the view
+// recycler) at the same instant: the view aliases the payload bytes, so
+// it must not outlive the buffer's current contents.
+func (p *Pool) Release(b *Buf) {
+	if b == nil || b.Refs <= 0 {
+		return
+	}
+	b.Refs--
+	if b.Refs == 0 {
+		if b.view != nil {
+			if p.viewDrop != nil {
+				p.viewDrop(b.view)
+			}
+			b.view = nil
+		}
+		p.free = append(p.free, b)
+	}
+}
+
+// OnViewDrop registers the recycler invoked with a buffer's decode-once
+// view when the buffer returns to the pool. Typically wired by the
+// world builder to the protocol layer's view pool.
+func (p *Pool) OnViewDrop(fn func(any)) { p.viewDrop = fn }
+
+// Stats reports buffers ever allocated and buffers currently free; on
+// a quiescent medium whose receivers release every frame the two are
+// equal, and a gap is a leaked (never-released) buffer.
+func (p *Pool) Stats() (allocated, free int) {
+	return p.allocated, len(p.free)
+}
+
+// MemFootprint returns the pool's structural footprint in bytes: every
+// free buffer (header plus backing capacity) and the freelist's own
+// backing array. The Pool value itself is counted by the embedding
+// medium's sizeof walk.
+func (p *Pool) MemFootprint() uint64 {
+	var m uint64
+	for _, b := range p.free {
+		m += uint64(unsafe.Sizeof(*b)) + uint64(cap(b.Data))
+	}
+	m += uint64(cap(p.free)) * uint64(unsafe.Sizeof((*Buf)(nil)))
+	return m
+}

@@ -1,0 +1,137 @@
+// Package medium defines the interconnect contract the Mether layers
+// are written against: a Medium carries frames between Ports, charges a
+// wire/transmission cost model in virtual time, and surfaces counters —
+// without fixing whether the medium is a shared broadcast bus or a
+// point-to-point fabric.
+//
+// Two implementations exist. internal/ethernet is the paper's shared
+// 10 Mb/s broadcast segment: one serialized wire, a broadcast reaches
+// every station for the price of one transmission. internal/fabric is
+// an RDMA-like point-to-point medium: independent per-link queues and
+// bandwidth, no broadcast domain at all — a "broadcast" is a sender-paid
+// unicast fan-out, charged once per destination. The protocol layers
+// (core.Driver and up) run unchanged over either; which 1990 conclusions
+// survive the modern medium is a sweep axis, not a rewrite.
+//
+// The shared data path lives here too: Frame, the refcounted payload
+// Buf with its decode-once view slot, the buffer Pool, and the bounded
+// receive Ring. They were extracted verbatim from the ethernet package
+// (PR 5's decode-once / refcounted-buffer layer was already
+// medium-agnostic), so both backends get the allocation-free
+// steady-state path and the view cache for free.
+package medium
+
+import "time"
+
+// Broadcast is the destination address that delivers a frame to every
+// attached port except the sender. On a point-to-point medium there is
+// no broadcast domain; the medium fans the frame out link by link and
+// charges the sender for every copy.
+const Broadcast = -1
+
+// Medium is one interconnect instance: ports attach to it, frames move
+// through it at simulated cost, and segment-wide counters come out of
+// it. Implementations must be deterministic — same kernel seed and
+// attach/send order, same delivery order and counters.
+type Medium interface {
+	// AttachPort adds a station with the medium-default receive-ring
+	// capacity. intr is invoked in kernel event context whenever a frame
+	// is queued into the port's receive ring.
+	AttachPort(name string, intr func()) Port
+	// AttachPortWithRing attaches with an explicit receive-ring bound,
+	// overriding the medium default. Rings are logically bounded but
+	// physically lazy: the value is a drop threshold, not an allocation.
+	AttachPortWithRing(name string, intr func(), ringCap int) Port
+	// Stats snapshots the medium-wide counters. Per-port drop and
+	// suppression counters are folded in (summed; ring high water by
+	// max).
+	Stats() Stats
+	// Utilization reports busy time as a fraction of the given wall
+	// time. On a multi-link medium the busy times of independent links
+	// sum, so the value may exceed 1.
+	Utilization(wall time.Duration) float64
+	// MemFootprint returns the medium's structural memory footprint in
+	// bytes (rings, pools, link state) — a deterministic function of
+	// simulated behaviour, never of runtime heap state, so it can enter
+	// byte-identical reports.
+	MemFootprint() uint64
+	// PoolStats reports payload buffers ever allocated and buffers
+	// currently free. A quiescent medium whose receivers release every
+	// frame has the two equal; a gap is a leak. Leak-detecting tests
+	// assert exactly that, on every backend.
+	PoolStats() (allocated, free int)
+	// OnViewDrop registers the recycler handed each buffer's decode-once
+	// view as the buffer returns to the pool.
+	OnViewDrop(fn func(any))
+}
+
+// Port is one station on a medium: the driver-facing send/receive
+// surface. The fault plane uses SetDown as its hook — a crashed host's
+// port neither receives nor transmits, and suppressed sends are
+// counted, never silently lost.
+type Port interface {
+	// ID is the port's dense address on its medium (attach order).
+	ID() int
+	// Name is the diagnostic name given at attach.
+	Name() string
+	// Send transmits payload to dst (a port id or Broadcast). The call
+	// returns immediately; delivery happens after the medium's queueing,
+	// serialization and propagation model. The payload is copied into a
+	// pooled buffer, so the caller's slice is free for reuse.
+	Send(dst int, payload []byte)
+	// Recv dequeues the oldest received frame, reporting false when the
+	// ring is empty. The frame's payload stays valid until Release.
+	Recv() (Frame, bool)
+	// Release hands a received frame's buffer back to the medium's pool.
+	// Optional — non-releasing receivers (taps) merely opt out of
+	// recycling — and at most once per received frame.
+	Release(f Frame)
+	// SetDown takes the station off the wire (or back on). While down it
+	// neither receives nor transmits; driver state is untouched.
+	SetDown(down bool)
+	// Down reports whether the station is off the wire.
+	Down() bool
+	// Pending returns the number of frames waiting in the receive ring.
+	Pending() int
+	// Drops returns frames dropped because the receive ring was full.
+	Drops() uint64
+	// TxSuppressed returns Send calls swallowed while the port was down.
+	TxSuppressed() uint64
+	// RingHighWater returns the peak receive-ring occupancy reached.
+	RingHighWater() int
+	// RingCap returns the logical receive-ring bound.
+	RingCap() int
+	// MemFootprint returns the port's structural footprint in bytes (the
+	// physically allocated ring, not the logical bound).
+	MemFootprint() uint64
+}
+
+// Stats aggregates medium-wide counters. The first block is meaningful
+// on every medium; the link-queue block is populated only by
+// point-to-point media (a shared bus has no per-link queues) and stays
+// zero on ethernet, which keeps pre-fabric reports byte-identical.
+type Stats struct {
+	Frames       uint64 // frames transmitted (fan-out copies included)
+	WireBytes    uint64 // bytes on the wire including overhead and padding
+	PayloadBytes uint64 // payload bytes only
+	WireLost     uint64 // frames corrupted in transit (loss model)
+	RingDrops    uint64 // per-receiver drops due to full rings
+	TxSuppressed uint64 // sends swallowed because the sending port was down
+	// RingHighWater is the peak receive-ring occupancy of any port on
+	// the medium. Aggregated by max, never summed.
+	RingHighWater int
+	// BusyTime is total serialization time. On a point-to-point medium
+	// independent links sum, so BusyTime may exceed wall time.
+	BusyTime time.Duration
+
+	// FanoutFrames counts the per-destination unicast copies a
+	// point-to-point medium transmitted on behalf of Broadcast sends —
+	// the sender-paid fan-out cost a shared bus never charges.
+	FanoutFrames uint64
+	// LinkOverflows counts frames dropped at a full per-link transmit
+	// queue (point-to-point media only).
+	LinkOverflows uint64
+	// LinkMaxQueued is the peak per-link transmit-queue occupancy over
+	// all links (point-to-point media only; aggregated by max).
+	LinkMaxQueued int
+}

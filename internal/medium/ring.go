@@ -1,0 +1,95 @@
+package medium
+
+import "unsafe"
+
+// Ring is a receive ring: a circular buffer bounded by a logical slot
+// count. Arrivals beyond the bound are refused exactly as a fixed ring
+// of that size would refuse them, but the backing array starts empty
+// and doubles with actual occupancy, so an idle or lightly-loaded
+// station never pays for its worst case. Both media use it by value, so
+// the drop/growth/high-water behaviour — and the differential tests
+// that pin it — are shared rather than duplicated.
+type Ring struct {
+	slots []Frame // circular physical storage; grows up to bound
+	bound int     // logical capacity: the drop threshold
+	head  int
+	count int
+	// highWater is the peak occupancy ever reached — the measured
+	// fan-in that proves (or disproves) the configured bound was needed.
+	highWater int
+}
+
+// NewRing returns a ring with the given logical bound (negative bounds
+// clamp to zero: a ring that refuses everything).
+func NewRing(bound int) Ring {
+	if bound < 0 {
+		bound = 0
+	}
+	return Ring{bound: bound}
+}
+
+// Push queues a frame, reporting false — without queuing — when the
+// ring is at its logical bound. The decision is made against the bound,
+// not the physical array, so lazy growth is invisible to the protocol:
+// the same frames are refused as with an eagerly allocated ring.
+func (r *Ring) Push(f Frame) bool {
+	if r.count >= r.bound {
+		return false
+	}
+	if r.count == len(r.slots) {
+		r.grow()
+	}
+	r.slots[(r.head+r.count)%len(r.slots)] = f
+	r.count++
+	if r.count > r.highWater {
+		r.highWater = r.count
+	}
+	return true
+}
+
+// Pop dequeues the oldest frame, reporting false if the ring is empty.
+func (r *Ring) Pop() (Frame, bool) {
+	if r.count == 0 {
+		return Frame{}, false
+	}
+	f := r.slots[r.head]
+	r.slots[r.head] = Frame{}
+	r.head = (r.head + 1) % len(r.slots)
+	r.count--
+	return f, true
+}
+
+// grow doubles the ring's physical storage (bounded by the logical
+// bound), unwrapping the circular contents into FIFO order at the front
+// of the new array.
+func (r *Ring) grow() {
+	size := 2 * len(r.slots)
+	if size < 8 {
+		size = 8
+	}
+	if size > r.bound {
+		size = r.bound
+	}
+	grown := make([]Frame, size)
+	for i := 0; i < r.count; i++ {
+		grown[i] = r.slots[(r.head+i)%len(r.slots)]
+	}
+	r.slots = grown
+	r.head = 0
+}
+
+// Pending returns the number of queued frames.
+func (r *Ring) Pending() int { return r.count }
+
+// HighWater returns the peak occupancy ever reached.
+func (r *Ring) HighWater() int { return r.highWater }
+
+// Bound returns the logical capacity (the drop threshold).
+func (r *Ring) Bound() int { return r.bound }
+
+// MemFootprint returns the physically allocated slot bytes — the lazily
+// grown array, not the logical bound. The Ring header itself is counted
+// by the embedding port's sizeof walk.
+func (r *Ring) MemFootprint() uint64 {
+	return uint64(cap(r.slots)) * uint64(unsafe.Sizeof(Frame{}))
+}

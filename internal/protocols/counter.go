@@ -34,8 +34,29 @@ func worldConfig(cfg Config) mether.Config {
 		NetParams:  cfg.NetParams,
 		Core:       cfg.Core,
 		Trunks:     cfg.Trunks,
-		Topology:   cfg.Topology,
+		Medium: mether.MediumConfig{
+			Kind:     cfg.Medium,
+			Ethernet: cfg.NetParams,
+			Fabric:   fabricFrom(cfg.Medium, cfg.NetParams),
+			Topology: cfg.Topology,
+		},
 	}
+}
+
+// fabricFrom maps the scenario's shared network axes (loss rate, ring
+// capacity) onto the fabric model when the fabric medium is selected, so
+// a medium sweep varies the wire, not the loss or buffering axes riding
+// along. Zero (deferring to world defaults) otherwise.
+func fabricFrom(kind string, np mether.EthernetParams) mether.FabricParams {
+	if kind != mether.MediumFabric {
+		return mether.FabricParams{}
+	}
+	fp := mether.DefaultFabricParams()
+	fp.LossRate = np.LossRate
+	if np.RxRing > 0 {
+		fp.RxRing = np.RxRing
+	}
+	return fp
 }
 
 // clientState tracks one client's protocol-level counters.
@@ -413,6 +434,9 @@ func harvest(cfg Config, w *mether.World, states []*clientState, spacePages int)
 	r.RingHighWater = ns.RingHighWater
 	r.MemBytes = w.MemFootprint()
 	r.TxSuppressed = ns.TxSuppressed
+	r.FanoutFrames = ns.FanoutFrames
+	r.LinkOverflows = ns.LinkOverflows
+	r.LinkMaxQueued = ns.LinkMaxQueued
 	r.Events = w.EventsDispatched()
 	r.TrunkUtil, r.TrunkFrames = w.TrunkUtilization(r.Wall)
 	if r.Wall > 0 {

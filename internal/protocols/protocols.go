@@ -111,6 +111,12 @@ type Config struct {
 	Trunks   int
 	Topology ethernet.TopologyConfig
 
+	// Medium selects the interconnect backend (mether.MediumEthernet
+	// when empty, or mether.MediumFabric for the RDMA-like
+	// point-to-point medium, where every broadcast is a sender-paid
+	// fan-out). Incompatible with Trunks > 1.
+	Medium string
+
 	// TraceLimit, when positive, records the first N datagrams of the
 	// run with the protocol analyzer; the rendered trace is returned in
 	// Report.Trace.
@@ -221,6 +227,13 @@ type Report struct {
 	// run — the engine-throughput denominator (deterministic: a pure
 	// function of config and seed).
 	Events uint64
+	// Fabric counters, zero by construction on Ethernet: the unicast
+	// copies transmitted on behalf of broadcasts (the sender-paid
+	// fan-out cost a shared bus never charges), frames dropped at full
+	// per-link transmit queues, and the peak per-link queue occupancy.
+	FanoutFrames  uint64
+	LinkOverflows uint64
+	LinkMaxQueued int
 
 	// Trace holds the rendered packet trace when Config.TraceLimit > 0.
 	Trace string

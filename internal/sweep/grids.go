@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"mether/internal/fault"
@@ -40,6 +41,17 @@ type Options struct {
 	// fault.Parse spec ("crash@150ms:h3;...") run as one extra custom
 	// stationary cell on top of the healthy grid.
 	Faults string
+	// Medium selects the cluster grid's interconnect axis. "" runs the
+	// default grid: every cell on the shared Ethernet plus the explicit
+	// /fab fabric cells at 64 and 256 hosts. "ethernet" drops the fabric
+	// cells — the exact pre-fabric grid, kept reproducible so -baseline
+	// comparisons against older reports show zero deltas. "fabric"
+	// instead forces the point-to-point fabric onto every compatible
+	// cell (suffixing names with /fab), mirroring the forced-trunks
+	// axis; cells built on bridge machinery — trunk topologies, bridge
+	// backlog, bridge partitions — have no fabric analogue and are
+	// dropped.
+	Medium string
 }
 
 func (o Options) withDefaults() Options {
@@ -266,7 +278,10 @@ func FanoutGrid(o Options) []Scenario {
 // `make cluster-large` runs the 1024-host tier via -hosts 1024 (kept
 // out of the default sizes so `make cluster` and bench records stay
 // comparable across PRs). Options.Trunks restricts the topology axis —
-// see its doc.
+// see its doc. At 64 and 256 hosts the grid also adds the medium axis:
+// the /fab cells rerun the three base workloads over the point-to-point
+// fabric, where broadcast is a sender-paid unicast fan-out; see
+// Options.Medium.
 func ClusterGrid(o Options) []Scenario {
 	o = o.withDefaults()
 	sizes := []int{16, 64, 256}
@@ -439,6 +454,26 @@ func ClusterGrid(o Options) []Scenario {
 					Hosts: h, Iters: hotIters, MinResidency: res,
 					Trunks: 2, OwnerTrunk: 1, Seed: o.Seed},
 			)
+			// The medium axis (dropped by -medium ethernet, which restores
+			// the exact pre-fabric grid): the three base workloads over the
+			// point-to-point fabric, where every broadcast is a sender-paid
+			// unicast fan-out serialized per destination link instead of one
+			// shared-wire transmission every station snoops. The stationary
+			// cell measures the linear baseline's fan-out wire cost, the
+			// barrier cell makes each arrival broadcast pay h-1 link
+			// transmissions back to back, and the hotspot cell puts the
+			// grant broadcasts — the paper's invalidate traffic — on the
+			// per-link meter.
+			if o.Medium == "" {
+				out = append(out,
+					Scenario{Name: fmt.Sprintf("cluster/stationary/h%d/fab", h), Kind: KindStationary,
+						Hosts: h, Iters: iters * 2, Medium: "fabric", Seed: o.Seed},
+					Scenario{Name: fmt.Sprintf("cluster/barrier/h%d/fab", h), Kind: KindBarrier,
+						Hosts: h, Phases: phases, HysteresisN: hyst, Medium: "fabric", Seed: o.Seed},
+					Scenario{Name: fmt.Sprintf("cluster/hotspot/h%d/fab", h), Kind: KindHotspot,
+						Hosts: h, Iters: hotIters, MinResidency: res, Medium: "fabric", Seed: o.Seed},
+				)
+			}
 		}
 		// The redundancy axis (k > 1 read faults ask the owner plus the
 		// k-1 nearest replicas; first response wins) on the two cells
@@ -526,6 +561,27 @@ func ClusterGrid(o Options) []Scenario {
 			Name: fmt.Sprintf("cluster/stationary/h%d/faults-custom", h), Kind: KindStationary,
 			Hosts: h, Iters: 16, Seed: o.Seed, Faults: o.Faults, ClaimRetries: 3})
 	}
+	// -medium fabric forces the point-to-point fabric onto every
+	// compatible cell (suffixing names with /fab), mirroring the
+	// forced-trunks axis. Cells that exercise bridge machinery — trunk
+	// topologies, asymmetric bridge backlog, bridge partitions — have no
+	// fabric analogue and are dropped rather than silently run on the
+	// wrong wire.
+	if o.Medium == "fabric" {
+		kept := out[:0]
+		for _, s := range out {
+			if s.Trunks > 1 || s.BacklogUp != 0 || s.BacklogDown != 0 ||
+				strings.Contains(s.Faults, "partition@") {
+				continue
+			}
+			if s.Medium == "" {
+				s.Medium = "fabric"
+				s.Name += "/fab"
+			}
+			kept = append(kept, s)
+		}
+		out = kept
+	}
 	return out
 }
 
@@ -548,6 +604,12 @@ func SmokeGrid(o Options) []Scenario {
 		{Name: "smoke/barrier", Kind: KindBarrier, Hosts: 2, Phases: 4, Seed: o.Seed},
 		{Name: "smoke/pipeline", Kind: KindPipeline, Stages: 3, Messages: 8, MsgSize: 8, Seed: o.Seed},
 		{Name: "smoke/stationary-t2", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2, Seed: o.Seed},
+		// The fabric smoke cell: the stationary workload over the
+		// point-to-point fabric medium, proving the Medium seam (per-link
+		// FIFO serialization, sender-paid broadcast fan-out, link-queue
+		// accounting) builds and runs on every push.
+		{Name: "smoke/stationary-fab", Kind: KindStationary, Hosts: 4, Iters: 8,
+			Medium: "fabric", Seed: o.Seed},
 		{Name: "smoke/stationary-t2-k3", Kind: KindStationary, Hosts: 4, Iters: 8, Trunks: 2,
 			Redundancy: 3, Seed: o.Seed},
 		// The windowed-tier smoke cell: the cluster grid's 4096-host

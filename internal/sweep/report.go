@@ -38,6 +38,7 @@ var csvColumns = []string{
 	"events",
 	"mem_bytes", "bytes_per_host", "ring_high_water",
 	"bridge_forwarded", "bridge_port_drops", "bridge_max_queued", "cross_trunk_stale",
+	"fanout_frames", "link_overflows", "link_max_queued",
 	"redundant_serves", "redundant_suppressed", "late_drops",
 	"orphan_recoveries", "ghost_drops", "migrated_pages",
 	"unavail_ns", "rejoin_ns", "partition_drops", "orphaned",
@@ -91,6 +92,9 @@ func (r Report) CSV() []byte {
 			strconv.FormatUint(s.BridgePortDrops, 10),
 			strconv.Itoa(s.BridgeMaxQueued),
 			strconv.FormatUint(s.CrossTrunkStale, 10),
+			strconv.FormatUint(s.FanoutFrames, 10),
+			strconv.FormatUint(s.LinkOverflows, 10),
+			strconv.Itoa(s.LinkMaxQueued),
 			strconv.FormatUint(s.RedundantServes, 10),
 			strconv.FormatUint(s.RedundantSuppressed, 10),
 			strconv.FormatUint(s.LateDrops, 10),
@@ -167,6 +171,9 @@ var compareMetrics = []struct {
 	{"ops_per_sec", func(r Result) float64 { return r.OpsPerSec }},
 	{"bridge_forwarded", func(r Result) float64 { return float64(r.BridgeForwarded) }},
 	{"cross_trunk_stale", func(r Result) float64 { return float64(r.CrossTrunkStale) }},
+	// Zero on every Ethernet cell and absent from pre-fabric baselines:
+	// Compare skips equal values, so old reports gate cleanly.
+	{"fanout_frames", func(r Result) float64 { return float64(r.FanoutFrames) }},
 }
 
 // Compare reports per-scenario metric changes of r against a baseline,

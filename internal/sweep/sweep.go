@@ -158,6 +158,13 @@ type Scenario struct {
 	// identical to a schedule-free run. Applies to hotspot and stationary
 	// kinds.
 	Faults string
+	// Medium selects the interconnect backend for counter, hotspot,
+	// barrier and stationary cells: "" / "ethernet" is the paper's
+	// shared broadcast bus, "fabric" the RDMA-like point-to-point medium
+	// where a broadcast is a sender-paid unicast fan-out. Fabric cells
+	// must not combine with Trunks > 1 (no broadcast domains to bridge)
+	// or bridge-dependent axes (backlogs, partitions).
+	Medium string
 	// ClaimRetries arms orphaned-ownership recovery (stationary only):
 	// after this many consecutive unanswered demand retries a requester
 	// claims the page itself. Zero disables claiming; partition cells
@@ -219,6 +226,15 @@ type Result struct {
 	MemBytes      uint64  `json:"mem_bytes,omitempty"`
 	BytesPerHost  float64 `json:"bytes_per_host,omitempty"`
 	RingHighWater int     `json:"ring_high_water,omitempty"`
+
+	// Fabric measurements, zero (and omitted, keeping Ethernet reports
+	// byte-identical to pre-fabric baselines) on the shared bus: the
+	// per-destination unicast copies transmitted on behalf of broadcasts
+	// (the sender-paid fan-out wire cost), frames dropped at full
+	// per-link transmit queues, and the peak per-link queue occupancy.
+	FanoutFrames  uint64 `json:"fanout_frames,omitempty"`
+	LinkOverflows uint64 `json:"link_overflows,omitempty"`
+	LinkMaxQueued int    `json:"link_max_queued,omitempty"`
 
 	// Topology measurements, all zero (and omitted, keeping single-trunk
 	// reports byte-identical to pre-topology baselines) on a single
@@ -356,6 +372,7 @@ func (s Scenario) counterConfig(shape ethernet.Shape) protocols.Config {
 		NetParams:       s.netParams(),
 		Core:            s.coreConfig(),
 		Trunks:          s.Trunks,
+		Medium:          s.Medium,
 		Topology: ethernet.TopologyConfig{
 			Shape: shape, PortLoss: s.PortLoss,
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown,
@@ -415,6 +432,9 @@ func (s Scenario) Run() Result {
 		res.CrossTrunkStale = r.CrossTrunkStale
 		res.TrunkUtil = r.TrunkUtil
 		res.TrunkFrames = r.TrunkFrames
+		res.FanoutFrames = r.FanoutFrames
+		res.LinkOverflows = r.LinkOverflows
+		res.LinkMaxQueued = r.LinkMaxQueued
 		if r.Wall > 0 {
 			res.OpsPerSec = float64(r.Additions) / r.Wall.Seconds()
 		}
@@ -463,6 +483,7 @@ func (s Scenario) Run() Result {
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, OwnerTrunk: s.OwnerTrunk, PortLoss: s.PortLoss,
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
+			Medium: s.Medium,
 			Faults: faults,
 			Seed:   s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
@@ -484,7 +505,8 @@ func (s Scenario) Run() Result {
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
-			Seed: s.Seed, Cap: s.Cap, NetParams: s.netParams(),
+			Medium: s.Medium,
+			Seed:   s.Seed, Cap: s.Cap, NetParams: s.netParams(),
 		})
 		if err != nil {
 			res.Err = err.Error()
@@ -512,6 +534,7 @@ func (s Scenario) Run() Result {
 			KernelServer: s.KernelServer,
 			Trunks:       s.Trunks, TrunkShape: trunkShape, PortLoss: s.PortLoss,
 			BacklogUp: s.BacklogUp, BacklogDown: s.BacklogDown, Redundancy: s.Redundancy,
+			Medium:         s.Medium,
 			WindowedAttach: s.Windowed, StaggerStart: s.Stagger,
 			LazyReplicas: s.Lazy, RingSlots: s.RingSlots, RetryTimeout: s.RetryTimeout,
 			Faults: faults, ClaimRetries: s.ClaimRetries,
@@ -552,6 +575,9 @@ func (r *Result) fillCluster(cs workload.ClusterStats, hosts int) {
 	r.Events = cs.Events
 	r.MemBytes = cs.MemBytes
 	r.RingHighWater = cs.RingHighWater
+	r.FanoutFrames = cs.FanoutFrames
+	r.LinkOverflows = cs.LinkOverflows
+	r.LinkMaxQueued = cs.LinkMaxQueued
 	if hosts > 0 && cs.MemBytes > 0 {
 		r.BytesPerHost = float64(cs.MemBytes) / float64(hosts)
 	}

@@ -1,8 +1,10 @@
-// Package trace provides a passive protocol analyzer for the simulated
-// Ethernet: a tap NIC that records and decodes every Mether datagram on
-// the segment with virtual timestamps. Because Mether broadcasts all
-// traffic (requests included), a passive station sees the complete
-// protocol exchange — the simulation's tcpdump.
+// Package trace provides a passive protocol analyzer for a simulated
+// interconnect: a tap port that records and decodes every Mether
+// datagram it receives, with virtual timestamps. On a broadcast medium
+// (ethernet) a passive station sees the complete protocol exchange —
+// the simulation's tcpdump. On a point-to-point fabric there is no
+// promiscuous mode: the tap sees only broadcast fan-out copies
+// addressed to it, never host-to-host unicasts.
 package trace
 
 import (
@@ -10,7 +12,7 @@ import (
 	"strings"
 	"time"
 
-	"mether/internal/ethernet"
+	"mether/internal/medium"
 	"mether/internal/proto"
 	"mether/internal/sim"
 	"mether/internal/vm"
@@ -60,14 +62,14 @@ type Log struct {
 	max     int
 }
 
-// Tap attaches a passive analyzer station to the bus. max bounds the
+// Tap attaches a passive analyzer station to the medium. max bounds the
 // number of retained entries (0 means unlimited); recording continues
 // but old entries are never evicted — the bound simply stops appending,
 // keeping memory flat on long runs.
-func Tap(k *sim.Kernel, bus *ethernet.Bus, max int) *Log {
+func Tap(k *sim.Kernel, m medium.Medium, max int) *Log {
 	l := &Log{max: max}
-	var nic *ethernet.NIC
-	nic = bus.Attach("trace-tap", func() {
+	var nic medium.Port
+	nic = m.AttachPort("trace-tap", func() {
 		for {
 			f, ok := nic.Recv()
 			if !ok {
@@ -79,7 +81,7 @@ func Tap(k *sim.Kernel, bus *ethernet.Bus, max int) *Log {
 	return l
 }
 
-func (l *Log) record(at time.Duration, f ethernet.Frame) {
+func (l *Log) record(at time.Duration, f medium.Frame) {
 	if l.max > 0 && len(l.entries) >= l.max {
 		return
 	}

@@ -76,6 +76,13 @@ type ClusterStats struct {
 	UnavailNS            time.Duration
 	RejoinNS             time.Duration
 	BridgePartitionDrops uint64
+	// Fabric counters, zero by construction on Ethernet: unicast copies
+	// transmitted on behalf of broadcasts (the sender-paid fan-out cost
+	// a shared bus never charges), frames dropped at full per-link
+	// transmit queues, and the peak per-link queue occupancy.
+	FanoutFrames  uint64
+	LinkOverflows uint64
+	LinkMaxQueued int
 	// MemBytes is the world's structural memory footprint after the run
 	// (World.MemFootprint): a deterministic walk of directory shards,
 	// frame tiers, rings and pools, not a runtime heap reading.
@@ -107,6 +114,9 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	cs.WireBytes = ns.WireBytes
 	cs.Packets = ns.Frames
 	cs.RingHighWater = ns.RingHighWater
+	cs.FanoutFrames = ns.FanoutFrames
+	cs.LinkOverflows = ns.LinkOverflows
+	cs.LinkMaxQueued = ns.LinkMaxQueued
 	cs.Events = w.EventsDispatched()
 	cs.MemBytes = w.MemFootprint()
 	bs := w.BridgeStats()
@@ -148,6 +158,25 @@ func collectCluster(w *mether.World, end time.Duration, extra *stats.Histogram) 
 	cs.LatMax = lat.Max()
 	cs.LatCount = lat.Count()
 	return cs
+}
+
+// mediumBlock assembles a world's Medium config from a scenario's
+// medium kind, Ethernet model and bridge topology. When the fabric is
+// selected, the shared network axes that ride along every scenario —
+// loss rate and receive-ring capacity — are mapped onto the fabric
+// model, so an ethernet-vs-fabric comparison varies the wire and
+// nothing else.
+func mediumBlock(kind string, np ethernet.Params, tc ethernet.TopologyConfig) mether.MediumConfig {
+	mc := mether.MediumConfig{Kind: kind, Ethernet: np, Topology: tc}
+	if kind == mether.MediumFabric {
+		fp := mether.DefaultFabricParams()
+		fp.LossRate = np.LossRate
+		if np.RxRing > 0 {
+			fp.RxRing = np.RxRing
+		}
+		mc.Fabric = fp
+	}
+	return mc
 }
 
 // HotspotConfig parameterizes a hot-page contention run: every host
@@ -220,6 +249,9 @@ type HotspotConfig struct {
 	// worlds — a claim across a partition would mint a second owner that
 	// the heal then exposes as split-brain.
 	Faults fault.Schedule
+	// Medium selects the interconnect backend (mether.MediumEthernet
+	// when empty, or mether.MediumFabric). Incompatible with Trunks > 1.
+	Medium string
 	Seed   int64
 	Cap    time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
@@ -277,12 +309,12 @@ func RunHotspot(cfg HotspotConfig) (HotspotReport, error) {
 		return HotspotReport{}, err
 	}
 	wcfg := mether.Config{
-		Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed, NetParams: cfg.NetParams,
+		Hosts: cfg.Hosts, Pages: 8, Seed: cfg.Seed,
 		Trunks: cfg.Trunks,
-		Topology: ethernet.TopologyConfig{
+		Medium: mediumBlock(cfg.Medium, cfg.NetParams, ethernet.TopologyConfig{
 			Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss,
 			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
-		},
+		}),
 	}
 	if cfg.MinResidency > 0 || cfg.RetryTimeout > 0 || cfg.KernelServer || cfg.Redundancy > 1 {
 		wcfg.Core = core.DefaultConfig(8)
@@ -407,9 +439,12 @@ type BarrierConfig struct {
 	// Redundancy is the redundant-fetch fan-out k for read faults (0/1 =
 	// the classic owner-only protocol).
 	Redundancy int
-	Seed       int64
-	Cap        time.Duration
-	NetParams  ethernet.Params
+	// Medium selects the interconnect backend (mether.MediumEthernet
+	// when empty, or mether.MediumFabric). Incompatible with Trunks > 1.
+	Medium    string
+	Seed      int64
+	Cap       time.Duration
+	NetParams ethernet.Params
 }
 
 // BarrierReport is the barrier run's measurements. The latency fields of
@@ -459,12 +494,12 @@ func RunBarrier(cfg BarrierConfig) (BarrierReport, error) {
 		pages = 8
 	}
 	wcfg := mether.Config{
-		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams,
+		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed,
 		Trunks: cfg.Trunks,
-		Topology: ethernet.TopologyConfig{
+		Medium: mediumBlock(cfg.Medium, cfg.NetParams, ethernet.TopologyConfig{
 			Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss,
 			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
-		},
+		}),
 	}
 	if cfg.KernelServer || cfg.Redundancy > 1 {
 		wcfg.Core = core.DefaultConfig(pages)

@@ -107,8 +107,11 @@ type StationaryConfig struct {
 	// partitions bridges, where a claim across the partition would mint a
 	// second owner.
 	ClaimRetries int
-	Seed         int64
-	Cap          time.Duration
+	// Medium selects the interconnect backend (mether.MediumEthernet
+	// when empty, or mether.MediumFabric). Incompatible with Trunks > 1.
+	Medium string
+	Seed   int64
+	Cap    time.Duration
 	// NetParams overrides the Ethernet model when non-zero (loss sweeps).
 	NetParams ethernet.Params
 }
@@ -164,12 +167,12 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 		pages = 8
 	}
 	wcfg := mether.Config{
-		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed, NetParams: cfg.NetParams,
+		Hosts: cfg.Hosts, Pages: pages, Seed: cfg.Seed,
 		Trunks: cfg.Trunks,
-		Topology: ethernet.TopologyConfig{
+		Medium: mediumBlock(cfg.Medium, cfg.NetParams, ethernet.TopologyConfig{
 			Shape: cfg.TrunkShape, PortLoss: cfg.PortLoss,
 			BacklogUp: cfg.BacklogUp, BacklogDown: cfg.BacklogDown,
-		},
+		}),
 	}
 	if cfg.KernelServer || cfg.Redundancy > 1 || cfg.LazyReplicas || cfg.RetryTimeout > 0 || cfg.ClaimRetries > 0 {
 		wcfg.Core = core.DefaultConfig(pages)
@@ -183,7 +186,7 @@ func RunStationary(cfg StationaryConfig) (StationaryReport, error) {
 	}
 	if cfg.RingSlots > 0 {
 		ring := cfg.RingSlots
-		wcfg.RingOf = func(int) int { return ring }
+		wcfg.Medium.RingOf = func(int) int { return ring }
 	}
 	w := mether.NewWorld(wcfg)
 	defer w.Shutdown()

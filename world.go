@@ -36,7 +36,9 @@ import (
 
 	"mether/internal/core"
 	"mether/internal/ethernet"
+	"mether/internal/fabric"
 	"mether/internal/host"
+	"mether/internal/medium"
 	"mether/internal/sim"
 	"mether/internal/trace"
 	"mether/internal/vm"
@@ -64,6 +66,58 @@ const (
 	ShortSize = vm.ShortSize
 )
 
+// Medium kinds for MediumConfig.Kind (and the methersweep -medium axis).
+const (
+	// MediumEthernet is the paper's shared broadcast bus (the default).
+	MediumEthernet = "ethernet"
+	// MediumFabric is the RDMA-like point-to-point interconnect: per-link
+	// queues and bandwidth, broadcast as sender-paid unicast fan-out.
+	MediumFabric = "fabric"
+)
+
+// EthernetParams and FabricParams re-export the two media's parameter
+// types so callers configure either interconnect through this package
+// alone, like FaultSchedule does for the fault plane.
+type (
+	EthernetParams = ethernet.Params
+	FabricParams   = fabric.Params
+)
+
+// DefaultEthernetParams returns the default 10 Mb/s shared-bus model.
+func DefaultEthernetParams() EthernetParams { return ethernet.DefaultParams() }
+
+// DefaultFabricParams returns the default RDMA-like fabric model.
+func DefaultFabricParams() FabricParams { return fabric.DefaultParams() }
+
+// MediumConfig scopes everything about the interconnect in one block:
+// which medium kind carries the frames, its parameters, and the
+// network-shape knobs (bridged topology, per-host ring sizing) that
+// only make sense medium-side. The zero value is the classic shared
+// 10 Mb/s Ethernet with uniform rings.
+type MediumConfig struct {
+	// Kind selects the backend: MediumEthernet ("" defaults to it) or
+	// MediumFabric.
+	Kind string
+	// Ethernet is the shared-bus model (default ethernet.DefaultParams);
+	// with Config.Trunks > 1 it parameterizes every trunk. Used only
+	// when Kind is MediumEthernet.
+	Ethernet ethernet.Params
+	// Fabric is the point-to-point model (default fabric.DefaultParams).
+	// Used only when Kind is MediumFabric.
+	Fabric FabricParams
+	// Topology parameterizes the bridges of a multi-trunk Ethernet
+	// (shape, store-and-forward delay, backlogs, per-port loss); ignored
+	// when Config.Trunks <= 1. A fabric has no trunks to bridge.
+	Topology ethernet.TopologyConfig
+	// RingOf sizes host i's receive ring, overriding the uniform
+	// per-medium RxRing when non-nil. Only hosts that see fan-in bursts
+	// (segment owners, servers) need deep rings; role-aware sizing keeps
+	// ring memory proportional to real fan-in instead of paying the
+	// worst case times the host count. Rings are physically lazy on both
+	// media, so the returned value is a drop bound, not an allocation.
+	RingOf func(host int) int
+}
+
 // Config describes a simulated cluster. Zero-valued fields get defaults.
 type Config struct {
 	// Hosts is the number of workstations (default 2).
@@ -74,32 +128,47 @@ type Config struct {
 	Seed int64
 	// HostParams is the workstation cost model (default host.DefaultParams).
 	HostParams host.Params
-	// NetParams is the Ethernet model (default ethernet.DefaultParams);
-	// with Trunks > 1 it parameterizes every trunk.
-	NetParams ethernet.Params
+	// Medium scopes the interconnect: kind, parameters, topology and
+	// ring sizing. The zero value is the classic shared Ethernet.
+	Medium MediumConfig
 	// Core is the driver/server cost model (default core.DefaultConfig).
+	// Its TrunkOf/TrunkHops fields are derived by NewWorld from the
+	// world-level Trunks/TrunkOf placement — values set here are
+	// overwritten, so the two configs cannot disagree.
 	Core core.Config
 	// Trunks is the number of Ethernet trunks (default 1, the classic
 	// single broadcast bus). With more than one, hosts are partitioned
-	// across trunks joined by store-and-forward bridges per Topology —
-	// the paper's real multi-trunk network, where broadcasts reach other
-	// trunks late and cross-trunk purge ordering is not globally
-	// consistent.
+	// across trunks joined by store-and-forward bridges per
+	// Medium.Topology — the paper's real multi-trunk network, where
+	// broadcasts reach other trunks late and cross-trunk purge ordering
+	// is not globally consistent. Only meaningful on MediumEthernet: a
+	// point-to-point fabric has no trunks (NewWorld rejects the combination).
 	Trunks int
 	// TrunkOf places host i on a trunk (must return 0..Trunks-1). Nil
 	// uses the default contiguous block partition: host i sits on trunk
 	// i*Trunks/Hosts, like machines sharing the wing of a building.
+	// NewWorld materializes this placement once and feeds it to the
+	// drivers (core.Config.TrunkOf); there is no second copy to keep in
+	// sync.
 	TrunkOf func(host int) int
-	// Topology parameterizes the bridges (shape, store-and-forward
-	// delay, backlogs, per-port loss); ignored when Trunks <= 1.
+
+	// Deprecated knobs, kept so pre-MediumConfig callers build
+	// unchanged. Each folds into the Medium block in withDefaults, and
+	// only when the corresponding Medium field was left zero:
+	//
+	//	NetParams → Medium.Ethernet
+	//	Topology  → Medium.Topology
+	//	RingOf    → Medium.RingOf
+	//
+	// New code should set the Medium block directly.
+	NetParams ethernet.Params
+	// Topology parameterizes multi-trunk bridges.
+	//
+	// Deprecated: set Medium.Topology.
 	Topology ethernet.TopologyConfig
-	// RingOf sizes host i's NIC receive ring, overriding the uniform
-	// NetParams.RxRing when non-nil. Only hosts that see fan-in bursts
-	// (segment owners, servers) need deep rings; role-aware sizing keeps
-	// ring memory proportional to real fan-in instead of paying the
-	// worst case times the host count. The rings are also physically
-	// lazy (ethernet.AttachWithRing), so the returned value is a drop
-	// bound, not an allocation.
+	// RingOf sizes per-host receive rings.
+	//
+	// Deprecated: set Medium.RingOf.
 	RingOf func(host int) int
 }
 
@@ -113,8 +182,30 @@ func (c Config) withDefaults() Config {
 	if c.HostParams.Quantum == 0 {
 		c.HostParams = host.DefaultParams()
 	}
-	if c.NetParams.BandwidthBps == 0 {
-		c.NetParams = ethernet.DefaultParams()
+	// Fold the deprecated medium-scoped knobs into the Medium block
+	// (documented mapping on Config); explicit Medium fields win.
+	if c.Medium.Ethernet.BandwidthBps == 0 {
+		c.Medium.Ethernet = c.NetParams
+	}
+	if c.Medium.Topology == (ethernet.TopologyConfig{}) {
+		c.Medium.Topology = c.Topology
+	}
+	if c.Medium.RingOf == nil {
+		c.Medium.RingOf = c.RingOf
+	}
+	switch c.Medium.Kind {
+	case "":
+		c.Medium.Kind = MediumEthernet
+	case MediumEthernet, MediumFabric:
+	default:
+		panic(fmt.Sprintf("mether: unknown medium kind %q (want %q or %q)",
+			c.Medium.Kind, MediumEthernet, MediumFabric))
+	}
+	if c.Medium.Ethernet.BandwidthBps == 0 {
+		c.Medium.Ethernet = ethernet.DefaultParams()
+	}
+	if c.Medium.Fabric.BandwidthBps == 0 {
+		c.Medium.Fabric = fabric.DefaultParams()
 	}
 	if c.Core.NumPages == 0 {
 		c.Core = core.DefaultConfig(c.Pages)
@@ -126,15 +217,23 @@ func (c Config) withDefaults() Config {
 	if c.Trunks < 1 || c.Trunks > c.Hosts {
 		panic(fmt.Sprintf("mether: %d trunks for %d hosts", c.Trunks, c.Hosts))
 	}
+	if c.Medium.Kind == MediumFabric && c.Trunks > 1 {
+		panic("mether: trunks are an Ethernet concept; a fabric has no broadcast domains to bridge")
+	}
 	return c
 }
 
 // World is one simulated Mether cluster.
 type World struct {
-	cfg      Config
-	k        *sim.Kernel
-	bus      *ethernet.Bus      // trunk 0 (the only trunk when topo is nil)
-	topo     *ethernet.Topology // nil for the classic single-bus world
+	cfg Config
+	k   *sim.Kernel
+	// med is the interconnect the cluster's reporting surface talks to:
+	// the fabric, the single bus, or trunk 0 of a multi-trunk topology
+	// (so taps keep listening on the backbone).
+	med      medium.Medium
+	bus      *ethernet.Bus      // trunk 0; nil on a fabric world
+	topo     *ethernet.Topology // nil unless multi-trunk Ethernet
+	fab      *fabric.Fabric     // nil unless MediumFabric
 	trunkOf  []int              // host index -> trunk (nil for single trunk)
 	hosts    []*host.Host
 	drivers  []*core.Driver
@@ -170,8 +269,19 @@ func NewWorld(cfg Config) *World {
 	// pool as the buffers recycle.
 	views := core.NewViewPool()
 	coreCfg.Views = views
-	if cfg.Trunks > 1 {
-		w.topo = ethernet.NewTopology(w.k, cfg.Trunks, cfg.NetParams, cfg.Topology)
+	// NewWorld is the single place the trunk placement is materialized
+	// and handed to the drivers: coreCfg.TrunkOf/TrunkHops are
+	// unconditionally derived here (nil for a single-trunk or fabric
+	// world), so the world-level and core-level configs cannot disagree.
+	coreCfg.TrunkOf = nil
+	coreCfg.TrunkHops = nil
+	switch {
+	case cfg.Medium.Kind == MediumFabric:
+		w.fab = fabric.New(w.k, cfg.Medium.Fabric)
+		w.med = w.fab
+		w.fab.OnViewDrop(views.Recycle)
+	case cfg.Trunks > 1:
+		w.topo = ethernet.NewTopology(w.k, cfg.Trunks, cfg.Medium.Ethernet, cfg.Medium.Topology)
 		w.trunkOf = make([]int, cfg.Hosts)
 		for i := range w.trunkOf {
 			t := i * cfg.Trunks / cfg.Hosts
@@ -184,6 +294,7 @@ func NewWorld(cfg Config) *World {
 			w.trunkOf[i] = t
 		}
 		w.bus = w.topo.Bus(0)
+		w.med = w.bus
 		// The drivers learn the trunk map so cross-trunk protocol hazards
 		// (stale refreshes arriving after newer ones reordered by bridge
 		// queues) are counted, not just possible.
@@ -194,23 +305,28 @@ func NewWorld(cfg Config) *World {
 		for i := 0; i < w.topo.Trunks(); i++ {
 			w.topo.Bus(i).OnViewDrop(views.Recycle)
 		}
-	} else {
-		w.bus = ethernet.NewBus(w.k, cfg.NetParams)
+	default:
+		w.bus = ethernet.NewBus(w.k, cfg.Medium.Ethernet)
+		w.med = w.bus
 		w.bus.OnViewDrop(views.Recycle)
+	}
+	defaultRing := cfg.Medium.Ethernet.RxRing
+	if cfg.Medium.Kind == MediumFabric {
+		defaultRing = cfg.Medium.Fabric.RxRing
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		h := host.New(w.k, i, fmt.Sprintf("host%d", i), cfg.HostParams)
 		var d *core.Driver
-		bus := w.bus
+		m := w.med
 		if w.topo != nil {
-			bus = w.topo.Bus(w.trunkOf[i])
+			m = w.topo.Bus(w.trunkOf[i])
 		}
-		ring := cfg.NetParams.RxRing
-		if cfg.RingOf != nil {
-			ring = cfg.RingOf(i)
+		ring := defaultRing
+		if cfg.Medium.RingOf != nil {
+			ring = cfg.Medium.RingOf(i)
 		}
-		nic := bus.AttachWithRing(h.Name(), func() { d.FrameArrived() }, ring)
-		d = core.New(h, nic, coreCfg)
+		port := m.AttachPortWithRing(h.Name(), func() { d.FrameArrived() }, ring)
+		d = core.New(h, port, coreCfg)
 		d.StartServer()
 		w.hosts = append(w.hosts, h)
 		w.drivers = append(w.drivers, d)
@@ -295,23 +411,26 @@ func (w *World) Driver(hostIdx int) *core.Driver { return w.drivers[hostIdx] }
 // HostMachine exposes a host's scheduler (advanced use).
 func (w *World) HostMachine(hostIdx int) *host.Host { return w.hosts[hostIdx] }
 
-// NetStats returns the Ethernet counters, summed over every trunk. A
-// frame forwarded across bridges is counted on each trunk it crosses:
-// cross-trunk broadcasts genuinely occupy every wire they transit.
+// NetStats returns the interconnect counters — summed over every trunk
+// on a multi-trunk Ethernet, where a frame forwarded across bridges is
+// counted on each trunk it crosses: cross-trunk broadcasts genuinely
+// occupy every wire they transit. On a fabric the fan-out/link-queue
+// fields (FanoutFrames, LinkOverflows, LinkMaxQueued) are populated;
+// on Ethernet they are always zero.
 func (w *World) NetStats() ethernet.Stats {
 	if w.topo != nil {
 		return w.topo.Stats()
 	}
-	return w.bus.Stats()
+	return w.med.Stats()
 }
 
 // TrunkStats returns every trunk's own segment counters in trunk order
-// (a one-element slice for the classic single-bus world). Unlike
+// (a one-element slice for a single-bus or fabric world). Unlike
 // NetStats, nothing is summed: multi-trunk reports use this to show
 // which trunk's wire saturates.
 func (w *World) TrunkStats() []ethernet.Stats {
 	if w.topo == nil {
-		return []ethernet.Stats{w.bus.Stats()}
+		return []ethernet.Stats{w.med.Stats()}
 	}
 	out := make([]ethernet.Stats, w.topo.Trunks())
 	for i := range out {
@@ -359,7 +478,7 @@ func (w *World) MemFootprint() uint64 {
 	if w.topo != nil {
 		b += w.topo.MemFootprint()
 	} else {
-		b += w.bus.MemFootprint()
+		b += w.med.MemFootprint()
 	}
 	b += uint64(len(w.trunkOf)) * 8
 	return b
@@ -377,9 +496,11 @@ func (w *World) ContextSwitches(hostIdx int) uint64 { return w.hosts[hostIdx].Co
 // invariants; it returns nil when they hold.
 func (w *World) CheckInvariants() error { return core.CheckInvariants(w.drivers...) }
 
-// AttachTap adds a passive protocol analyzer to the cluster's Ethernet
-// and returns its log (the simulation's tcpdump). max bounds retained
-// entries; 0 keeps everything. Attach taps before running. On a
-// multi-trunk world the tap listens on trunk 0 (the backbone), like a
-// real analyzer plugged into one segment.
-func (w *World) AttachTap(max int) *trace.Log { return trace.Tap(w.k, w.bus, max) }
+// AttachTap adds a passive protocol analyzer to the cluster's
+// interconnect and returns its log (the simulation's tcpdump). max
+// bounds retained entries; 0 keeps everything. Attach taps before
+// running. On a multi-trunk world the tap listens on trunk 0 (the
+// backbone), like a real analyzer plugged into one segment. On a fabric
+// there is no promiscuous mode: the tap sees only broadcast fan-out
+// copies addressed to it, never host-to-host unicasts.
+func (w *World) AttachTap(max int) *trace.Log { return trace.Tap(w.k, w.med, max) }
